@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 3)."""

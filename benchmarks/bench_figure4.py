@@ -1,0 +1,38 @@
+"""E2 — Figure 4: Pathfinder scalability across instance sizes.
+
+The paper plots execution times normalised to the 110 MB instance and
+finds near-linear scaling for most queries, with Q11/Q12 superlinear
+(their theta-join output grows quadratically).  These benchmarks time a
+representative query subset at three scales; the normalised series for
+all 20 queries comes from ``python benchmarks/report.py figure4``.
+"""
+
+import pytest
+
+from benchmarks.harness import load_engines, time_pathfinder
+
+QUERIES = ["Q1", "Q5", "Q6", "Q8", "Q11", "Q14", "Q19", "Q20"]
+SCALES = [0.0005, 0.002, 0.008]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query", QUERIES)
+def test_pathfinder_scaling(benchmark, query, scale):
+    engines = load_engines(scale)
+    benchmark.group = f"figure4-{query}"
+    benchmark.name = f"scale={scale}"
+    benchmark.extra_info["nodes"] = engines.node_count
+    benchmark.pedantic(time_pathfinder, args=(engines, query), rounds=3, iterations=1)
+
+
+def test_q11_scales_superlinearly():
+    """The paper's stated outlier: Q11's theta-join output is quadratic,
+    so its runtime must grow faster than the (near-linear) Q1's."""
+    t = {}
+    for scale in (0.002, 0.008):
+        engines = load_engines(scale)
+        t[("Q1", scale)] = time_pathfinder(engines, "Q1")
+        t[("Q11", scale)] = time_pathfinder(engines, "Q11")
+    growth_q1 = t[("Q1", 0.008)] / t[("Q1", 0.002)]
+    growth_q11 = t[("Q11", 0.008)] / t[("Q11", 0.002)]
+    assert growth_q11 > growth_q1

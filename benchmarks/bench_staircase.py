@@ -1,0 +1,79 @@
+"""E5 — the staircase-join ablation (the paper's Q6/Q7 claim).
+
+The paper attributes its two-orders-of-magnitude win on recursive axes to
+the staircase join.  This ablation runs descendant steps with the
+tree-aware staircase kernels versus the tree-unaware per-context region
+selection (what a stock RDBMS would do), on the same encoded documents.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import load_engines
+from repro.encoding.axes import Axis, element
+from repro.relational.staircase import naive_step, staircase_step
+
+
+def _contexts(engines):
+    """All <item> parents (region elements) as one iteration's contexts —
+    a many-context descendant step like Q6's ``$b//item``."""
+    engine = engines.pathfinder
+    regions = engine.execute("/site/regions/*").table
+    nodes = regions.item("item").data
+    iters = np.ones(len(nodes), dtype=np.int64)
+    return engine.arena, iters, nodes
+
+
+@pytest.mark.parametrize("impl", ["staircase", "naive"])
+def test_descendant_step(benchmark, engines_small, impl):
+    arena, iters, nodes = _contexts(engines_small)
+    step = staircase_step if impl == "staircase" else naive_step
+    benchmark.group = "staircase-descendant"
+    benchmark.name = impl
+    benchmark.pedantic(
+        step,
+        args=(arena, iters, nodes, Axis.DESCENDANT, element("item")),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("impl", ["staircase", "naive"])
+def test_wide_context_set(benchmark, engines_small, impl):
+    """Many overlapping contexts (every element under /site/people):
+    pruning pays off most here."""
+    engine = engines_small.pathfinder
+    people = engine.execute("/site/people//node()").table
+    from repro.relational.items import K_NODE
+
+    col = people.item("item")
+    nodes = col.data[col.kinds == K_NODE]
+    iters = np.ones(len(nodes), dtype=np.int64)
+    step = staircase_step if impl == "staircase" else naive_step
+    benchmark.group = "staircase-wide"
+    benchmark.name = impl
+    benchmark.extra_info["contexts"] = len(nodes)
+    benchmark.pedantic(
+        step,
+        args=(engine.arena, iters, nodes, Axis.DESCENDANT_OR_SELF, element()),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_staircase_beats_naive():
+    """The headline claim, asserted: the staircase join is faster, and the
+    gap widens with document size."""
+    import time
+
+    gaps = []
+    for scale in (0.002, 0.008):
+        engines = load_engines(scale)
+        arena, iters, nodes = _contexts(engines)
+        t0 = time.perf_counter()
+        staircase_step(arena, iters, nodes, Axis.DESCENDANT, element("item"))
+        t1 = time.perf_counter()
+        naive_step(arena, iters, nodes, Axis.DESCENDANT, element("item"))
+        t2 = time.perf_counter()
+        gaps.append((t2 - t1) / max(t1 - t0, 1e-9))
+    assert gaps[-1] > 1.0

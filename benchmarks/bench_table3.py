@@ -1,0 +1,43 @@
+"""E1 — Table 3: XMark Q1–Q20 on Pathfinder and the baseline.
+
+The paper's Table 3 reports per-query evaluation times for X-Hive and
+Pathfinder at four instance sizes.  These benchmarks time each engine on
+every query at the "small" scale; the full multi-scale table (with DNF
+handling) is produced by ``python benchmarks/report.py table3``.
+
+Expected shape (paper): Pathfinder wins simple path queries by small
+factors, recursive-axis queries (Q6/Q7) by orders of magnitude, and join
+queries (Q8–Q12) either win big or the baseline does not finish.
+"""
+
+import pytest
+
+from benchmarks.harness import time_baseline, time_pathfinder
+from repro.xmark import XMARK_QUERIES
+
+ALL_QUERIES = list(XMARK_QUERIES)
+#: join queries get a shorter budget — the baseline is quadratic on them
+BASELINE_SLOW = {"Q9", "Q10", "Q11", "Q12"}
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES)
+def test_pathfinder(benchmark, engines_small, query):
+    benchmark.group = f"table3-{query}"
+    benchmark.name = "pathfinder"
+    benchmark.pedantic(
+        time_pathfinder, args=(engines_small, query), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES)
+def test_baseline(benchmark, engines_small, query):
+    benchmark.group = f"table3-{query}"
+    benchmark.name = "baseline"
+    timeout = 5.0 if query in BASELINE_SLOW else 30.0
+
+    def run():
+        return time_baseline(engines_small, query, timeout=timeout)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    if result is None:
+        pytest.skip("baseline DNF within its budget (expected for joins)")

@@ -1,0 +1,20 @@
+"""Benchmark fixtures: preloaded XMark instances per scale."""
+
+import pytest
+
+from benchmarks.harness import load_engines
+
+
+@pytest.fixture(scope="session")
+def engines_tiny():
+    return load_engines(0.0005)
+
+
+@pytest.fixture(scope="session")
+def engines_small():
+    return load_engines(0.002)
+
+
+@pytest.fixture(scope="session")
+def engines_medium():
+    return load_engines(0.008)

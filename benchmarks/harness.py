@@ -1,0 +1,128 @@
+"""Shared machinery for the benchmark suite.
+
+The paper's experiments run XMark queries on instances of several sizes,
+against Pathfinder and X-Hive.  Here the sizes are scale factors suited to
+a pure-Python engine, Pathfinder is :class:`repro.PathfinderEngine`, and
+X-Hive's stand-in is the nested-loop interpreter with a wall-clock budget
+whose expiry is reported as *DNF* (exactly how the paper reports X-Hive on
+Q9–Q12 at 1.1 GB).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro import PathfinderEngine
+from repro.baseline.interpreter import Interpreter, QueryTimeout
+from repro.xmark import XMARK_QUERIES, generate_document
+from repro.xquery.core import desugar_module
+from repro.xquery.parser import parse_query
+
+#: the paper's four instance sizes (11 MB … 11 GB), scaled to Python
+SCALES = (0.0005, 0.002, 0.008)
+#: labels mirroring the paper's table header
+SCALE_LABELS = {0.0005: "tiny", 0.002: "small", 0.008: "medium", 0.032: "large"}
+
+DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass
+class Engines:
+    """One loaded XMark instance plus both engines over it."""
+
+    scale: float
+    pathfinder: PathfinderEngine
+    node_count: int
+    xml_bytes: int
+
+    def baseline(self, use_indexes: bool = False) -> Interpreter:
+        interp = Interpreter(
+            self.pathfinder.arena,
+            self.pathfinder.documents,
+            self.pathfinder.default_document,
+            use_indexes=use_indexes,
+        )
+        if use_indexes:
+            # the paper's X-Hive tuning: value indices on buyer/@person
+            # and profile/@income (Section 3.2)
+            interp.add_value_index("person")
+            interp.add_value_index("income")
+        return interp
+
+
+@lru_cache(maxsize=8)
+def load_engines(scale: float, seed: int = 42) -> Engines:
+    """Generate and load one XMark instance (cached per scale)."""
+    text = generate_document(scale, seed=seed)
+    engine = PathfinderEngine()
+    nodes = engine.load_document("auction.xml", text)
+    return Engines(
+        scale=scale,
+        pathfinder=engine,
+        node_count=nodes,
+        xml_bytes=len(text.encode("utf-8")),
+    )
+
+
+@dataclass
+class Row:
+    """One Table 3 cell pair: both engines on one query at one scale."""
+
+    query: str
+    scale: float
+    pathfinder_seconds: float
+    baseline_seconds: float | None  # None = DNF (exceeded the budget)
+
+    @property
+    def speedup(self) -> float | None:
+        if self.baseline_seconds is None:
+            return None
+        return self.baseline_seconds / self.pathfinder_seconds
+
+
+def time_pathfinder(engines: Engines, query_name: str) -> float:
+    query = XMARK_QUERIES[query_name]
+    t0 = time.perf_counter()
+    engines.pathfinder.execute(query)
+    return time.perf_counter() - t0
+
+
+def time_baseline(
+    engines: Engines,
+    query_name: str,
+    timeout: float = DEFAULT_TIMEOUT,
+    use_indexes: bool = False,
+) -> float | None:
+    module = desugar_module(parse_query(XMARK_QUERIES[query_name]))
+    interp = engines.baseline(use_indexes=use_indexes)
+    interp.set_deadline(timeout)
+    t0 = time.perf_counter()
+    try:
+        interp.execute(module)
+    except QueryTimeout:
+        return None
+    return time.perf_counter() - t0
+
+
+def run_query(
+    engines: Engines, query_name: str, timeout: float = DEFAULT_TIMEOUT
+) -> Row:
+    """One Table 3 row cell: Pathfinder vs baseline on one query."""
+    pf = time_pathfinder(engines, query_name)
+    base = time_baseline(engines, query_name, timeout=timeout)
+    return Row(
+        query=query_name,
+        scale=engines.scale,
+        pathfinder_seconds=pf,
+        baseline_seconds=base,
+    )
+
+
+def fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "DNF"
+    if value < 10:
+        return f"{value:.3f}"
+    return f"{value:.1f}"

@@ -1,0 +1,55 @@
+"""Quickstart: load a document, run XQuery, inspect results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PathfinderEngine
+
+CATALOG = """
+<catalog>
+  <book year="2003"><title>XQuery from the Experts</title><price>39.95</price></book>
+  <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><price>34.95</price></book>
+</catalog>
+"""
+
+
+def main() -> None:
+    engine = PathfinderEngine()
+    engine.load_document("catalog.xml", CATALOG)
+
+    # 1. a path expression
+    result = engine.execute("/catalog/book/title/text()")
+    print("titles:          ", result.serialize())
+
+    # 2. FLWOR with a predicate and arithmetic
+    result = engine.execute(
+        """
+        for $b in /catalog/book
+        where $b/price > 35
+        order by $b/price descending
+        return <expensive title="{$b/title/text()}" price="{$b/price/text()}"/>
+        """
+    )
+    print("expensive books: ", result.serialize())
+
+    # 3. aggregation
+    result = engine.execute("sum(/catalog/book/price)")
+    print("total price:     ", result.serialize())
+
+    # 4. Python-side access to the result sequence
+    result = engine.execute("for $b in /catalog/book return data($b/@year)")
+    years = result.values()
+    print("years (python):  ", years)
+
+    # 5. under the hood: the relational plan the query compiled to
+    report = engine.explain("count(//book)")
+    print(
+        f"\ncount(//book) compiles to {report.stats.ops_after} relational "
+        f"operators ({report.stats.ops_before} before peephole optimization):"
+    )
+    print(report.plan_ascii)
+
+
+if __name__ == "__main__":
+    main()

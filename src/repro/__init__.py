@@ -1,0 +1,22 @@
+"""Pathfinder: XQuery — The Relational Way (VLDB 2005), reproduced.
+
+A pure-Python reproduction of the Pathfinder XQuery compiler and its
+MonetDB-style relational back-end: XML documents are shredded into the
+XPath Accelerator encoding, XQuery is loop-lifted into a DAG of plain
+relational operators, axis steps run as staircase joins, and the plan is
+evaluated column-at-a-time on numpy.
+
+Public entry points:
+
+* :class:`repro.engine.PathfinderEngine` — load documents, run queries,
+  explain plans.
+* :class:`repro.baseline.interpreter.Interpreter` — the conventional
+  nested-loop XQuery interpreter used as the X-Hive-shaped baseline.
+* :mod:`repro.xmark` — the XMark benchmark generator and queries.
+"""
+
+from repro.engine import PathfinderEngine, QueryResult, ExplainReport
+
+__version__ = "1.0.0"
+
+__all__ = ["PathfinderEngine", "QueryResult", "ExplainReport", "__version__"]

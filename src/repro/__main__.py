@@ -1,0 +1,131 @@
+"""Command-line front end: compile and run XQuery from the shell.
+
+The original Pathfinder shipped as a command-line compiler.  Usage::
+
+    python -m repro -q 'count(//item)' --doc auction.xml=path/to.xml
+    python -m repro -f query.xq --doc data.xml=input.xml --explain
+    echo '1+1' | python -m repro
+
+Options mirror the demo's "under the hood" hooks: ``--explain`` prints
+the plan stages, ``--mil`` the generated MIL program, ``--baseline``
+cross-checks against the nested-loop interpreter, ``--xmark SCALE``
+loads a generated XMark instance instead of files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import PathfinderEngine
+from repro.errors import PathfinderError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Pathfinder: XQuery - The Relational Way (reproduction)",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("-q", "--query", help="query text")
+    source.add_argument("-f", "--file", help="read the query from a file")
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="URI=PATH",
+        help="load an XML document (repeatable; first one is the default)",
+    )
+    parser.add_argument(
+        "--xmark",
+        type=float,
+        metavar="SCALE",
+        help="load a generated XMark instance as 'auction.xml'",
+    )
+    parser.add_argument("--explain", action="store_true", help="print plan stages")
+    parser.add_argument("--mil", action="store_true", help="print the MIL program")
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the nested-loop baseline and compare",
+    )
+    parser.add_argument(
+        "--no-optimizer", action="store_true", help="skip peephole optimization"
+    )
+    parser.add_argument(
+        "--time", action="store_true", help="print compile/execute timings"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.query:
+        query = args.query
+    elif args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            query = handle.read()
+    else:
+        query = sys.stdin.read()
+    if not query.strip():
+        print("no query given", file=sys.stderr)
+        return 2
+
+    engine = PathfinderEngine(use_optimizer=not args.no_optimizer)
+    try:
+        if args.xmark is not None:
+            from repro.xmark import generate_document
+
+            engine.load_document("auction.xml", generate_document(args.xmark))
+        for spec in args.doc:
+            uri, _, path = spec.partition("=")
+            if not path:
+                print(f"bad --doc {spec!r}, expected URI=PATH", file=sys.stderr)
+                return 2
+            with open(path, "r", encoding="utf-8") as handle:
+                engine.load_document(uri, handle.read())
+
+        if args.explain or args.mil:
+            report = engine.explain(query)
+            if args.explain:
+                print(
+                    f"# plan: {report.stats.ops_before} operators, "
+                    f"{report.stats.ops_after} after optimization",
+                    file=out,
+                )
+                print(report.plan_ascii, file=out)
+            if args.mil:
+                print(report.mil, file=out)
+            return 0
+
+        result = engine.execute(query)
+        print(result.serialize(), file=out)
+        if args.time:
+            print(
+                f"# compile {result.compile_seconds * 1000:.1f} ms, "
+                f"execute {result.execute_seconds * 1000:.1f} ms",
+                file=out,
+            )
+        if args.baseline:
+            from repro.baseline.interpreter import Interpreter
+            from repro.xquery.core import desugar_module
+            from repro.xquery.parser import parse_query
+
+            interp = Interpreter(
+                engine.arena, engine.documents, engine.default_document
+            )
+            module = desugar_module(parse_query(query))
+            agree = interp.serialize(interp.execute(module)) == result.serialize()
+            print(f"# baseline agrees: {agree}", file=out)
+            if not agree:
+                return 1
+        return 0
+    except PathfinderError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""The loop-lifting XQuery-to-algebra compiler (the paper's core idea).
+
+Every XQuery (sub)expression compiles to a relational plan producing an
+``iter | pos | item`` table; FLWOR iteration is *loop-lifted*: a ``loop``
+relation enumerates the live iterations of each scope, ``for`` introduces
+new iterations with a row-numbering operator, ``map`` relations connect the
+iterations of nested scopes, and results are back-mapped to the enclosing
+scope (paper Section 2, Figure 3).
+"""
+
+from repro.compiler.loop_lifting import Compiler, CompiledQuery
+
+__all__ = ["Compiler", "CompiledQuery"]

@@ -1,0 +1,90 @@
+"""Result serialization: the ``iter|pos|item`` table back to XDM / XML.
+
+The paper's "simple post-processor": the top-level result table (scope
+``s0``, so ``iter`` = 1 throughout) is ordered by ``pos``; node items are
+serialised as markup, atomic items by their lexical form with
+single-space separators between adjacent atomics (the W3C serialization
+rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.arena import NodeArena
+from repro.relational import items as it
+from repro.relational.items import ItemColumn, K_ATTR, K_NODE
+from repro.relational.table import Table
+from repro.xml.escape import escape_text
+from repro.xml.serializer import serialize_attribute, serialize_node
+
+
+class NodeHandle:
+    """A reference to an arena node in a Python-facing result list."""
+
+    __slots__ = ("arena", "node", "is_attribute")
+
+    def __init__(self, arena: NodeArena, node: int, is_attribute: bool = False):
+        self.arena = arena
+        self.node = node
+        self.is_attribute = is_attribute
+
+    def serialize(self) -> str:
+        if self.is_attribute:
+            return serialize_attribute(self.arena, self.node)
+        return serialize_node(self.arena, self.node)
+
+    def string_value(self) -> str:
+        if self.is_attribute:
+            return self.arena.pool.value(int(self.arena.attr_value[self.node]))
+        return self.arena.pool.value(self.arena.string_value_id(self.node))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeHandle({self.serialize()!r})"
+
+
+def ordered_items(table: Table) -> ItemColumn:
+    """The result items in sequence order (by iter, then pos)."""
+    iters = table.num("iter")
+    pos = table.num("pos")
+    order = np.lexsort((pos, iters))
+    return table.item("item").take(order)
+
+
+def result_values(table: Table, arena: NodeArena) -> list:
+    """Decode the result to Python values (nodes become NodeHandles)."""
+    items = ordered_items(table)
+    out: list = []
+    for kind, payload in zip(items.kinds, items.data):
+        kind, payload = int(kind), int(payload)
+        if kind == K_NODE:
+            out.append(NodeHandle(arena, payload))
+        elif kind == K_ATTR:
+            out.append(NodeHandle(arena, payload, is_attribute=True))
+        else:
+            out.append(it.decode_item(kind, payload, arena.pool))
+    return out
+
+
+def serialize_result(table: Table, arena: NodeArena) -> str:
+    """Serialise the result sequence to text (nodes as XML markup, atomics
+    space-separated)."""
+    items = ordered_items(table)
+    pool = arena.pool
+    parts: list[str] = []
+    prev_atomic = False
+    for kind, payload in zip(items.kinds, items.data):
+        kind, payload = int(kind), int(payload)
+        if kind == K_NODE:
+            parts.append(serialize_node(arena, payload))
+            prev_atomic = False
+        elif kind == K_ATTR:
+            parts.append(serialize_attribute(arena, payload))
+            prev_atomic = False
+        else:
+            text = escape_text(it.lexical(kind, payload, pool))
+            if prev_atomic:
+                parts.append(" ")
+            parts.append(text)
+            prev_atomic = True
+    return "".join(parts)

@@ -1,0 +1,23 @@
+"""XPath Accelerator document encoding (pre|size|level + property pools).
+
+This subpackage turns parsed XML trees into the relational encoding of
+Grust's XPath Accelerator as used by Pathfinder: a node table with
+``pre | size | level | kind | parent | frag | name | value`` columns (the
+paper's ``pre|size|level`` plus the ``prop`` surrogate columns), a parallel
+attribute table, and shared string pools in which identical property
+values share one surrogate.
+"""
+
+from repro.encoding.arena import NodeArena, NK_DOC, NK_ELEM, NK_TEXT, NK_COMMENT, NK_PI
+from repro.encoding.axes import Axis, NodeTest
+
+__all__ = [
+    "NodeArena",
+    "Axis",
+    "NodeTest",
+    "NK_DOC",
+    "NK_ELEM",
+    "NK_TEXT",
+    "NK_COMMENT",
+    "NK_PI",
+]

@@ -1,0 +1,376 @@
+"""The node arena: every document and constructed fragment, one encoding.
+
+The arena is the heart of the tree encoding.  It keeps the XPath
+Accelerator tables for *all* trees the engine knows about — loaded
+documents as well as fragments constructed at query runtime — as one set
+of parallel, growing arrays:
+
+``kind | size | level | frag | parent | name | value``
+
+Rows are appended in pre-order per fragment and fragments are contiguous,
+so the **global row id doubles as the pre rank**: ``pre(v) = v -
+frag_base(frag(v))`` and, more importantly, integer order on row ids *is*
+document order (fragments ordered by creation, as XQuery allows).  The
+paper's region predicates then become plain integer range conditions on
+row ids, e.g. descendants of ``v`` are exactly rows ``v+1 .. v+size(v)``.
+
+Attributes live in a parallel ``owner | name | value`` table with their own
+id space (attribute items carry ``K_ATTR`` kind).  Names and textual values
+are surrogates into a shared :class:`~repro.relational.items.StringPool` —
+the paper's unique-value property BATs ("surrogate sharing ... avoids
+expensive string comparisons and reduces space consumption").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DynamicError
+from repro.relational.items import StringPool
+
+NK_DOC = 0
+NK_ELEM = 1
+NK_TEXT = 2
+NK_COMMENT = 3
+NK_PI = 4
+
+NODE_KIND_NAMES = {
+    NK_DOC: "document",
+    NK_ELEM: "element",
+    NK_TEXT: "text",
+    NK_COMMENT: "comment",
+    NK_PI: "processing-instruction",
+}
+
+
+class _Buf:
+    """A growable int64 array with amortised O(1) appends."""
+
+    __slots__ = ("_data", "_len")
+
+    def __init__(self, capacity: int = 1024):
+        self._data = np.zeros(capacity, dtype=np.int64)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def view(self) -> np.ndarray:
+        return self._data[: self._len]
+
+    def _reserve(self, extra: int) -> None:
+        need = self._len + extra
+        if need > len(self._data):
+            cap = max(need, 2 * len(self._data))
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self._len] = self._data[: self._len]
+            self._data = grown
+
+    def append(self, value: int) -> int:
+        self._reserve(1)
+        self._data[self._len] = value
+        self._len += 1
+        return self._len - 1
+
+    def extend(self, values) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        self._reserve(len(values))
+        self._data[self._len : self._len + len(values)] = values
+        self._len += len(values)
+
+    def __getitem__(self, idx):
+        return self.view()[idx]
+
+    def __setitem__(self, idx, value):
+        self.view()[idx] = value
+
+
+class NodeArena:
+    """Container for every tree the engine knows (documents + fragments)."""
+
+    def __init__(self, pool: StringPool | None = None):
+        self.pool = pool if pool is not None else StringPool()
+        self._kind = _Buf()
+        self._size = _Buf()
+        self._level = _Buf()
+        self._frag = _Buf()
+        self._parent = _Buf()
+        self._name = _Buf()
+        self._value = _Buf()
+        self._attr_owner = _Buf(256)
+        self._attr_name = _Buf(256)
+        self._attr_value = _Buf(256)
+        self.frag_base: list[int] = []
+        self._version = 0
+        self._cache_version = -1
+        self._child_order: np.ndarray | None = None
+        self._child_parents: np.ndarray | None = None
+        self._attr_order: np.ndarray | None = None
+        self._attr_owners_sorted: np.ndarray | None = None
+        self._text_rows: np.ndarray | None = None
+        self._strvalue_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------- columns
+    @property
+    def kind(self) -> np.ndarray:
+        return self._kind.view()
+
+    @property
+    def size(self) -> np.ndarray:
+        return self._size.view()
+
+    @property
+    def level(self) -> np.ndarray:
+        return self._level.view()
+
+    @property
+    def frag(self) -> np.ndarray:
+        return self._frag.view()
+
+    @property
+    def parent(self) -> np.ndarray:
+        return self._parent.view()
+
+    @property
+    def name(self) -> np.ndarray:
+        return self._name.view()
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._value.view()
+
+    @property
+    def attr_owner(self) -> np.ndarray:
+        return self._attr_owner.view()
+
+    @property
+    def attr_name(self) -> np.ndarray:
+        return self._attr_name.view()
+
+    @property
+    def attr_value(self) -> np.ndarray:
+        return self._attr_value.view()
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._kind)
+
+    @property
+    def num_attrs(self) -> int:
+        return len(self._attr_owner)
+
+    # ------------------------------------------------------------- building
+    def begin_fragment(self) -> int:
+        """Start a new fragment; returns its id.  The next appended node is
+        the fragment root and must carry the total subtree ``size``."""
+        self.frag_base.append(self.num_nodes)
+        self._version += 1
+        return len(self.frag_base) - 1
+
+    def append_node(
+        self, kind: int, size: int, level: int, parent: int, name: int, value: int
+    ) -> int:
+        """Append one node row (pre-order position), returning its row id."""
+        self._kind.append(kind)
+        self._size.append(size)
+        self._level.append(level)
+        self._frag.append(len(self.frag_base) - 1)
+        self._parent.append(parent)
+        self._name.append(name)
+        self._value.append(value)
+        self._version += 1
+        return self.num_nodes - 1
+
+    def append_nodes(
+        self,
+        kinds: Sequence[int],
+        sizes: Sequence[int],
+        levels: Sequence[int],
+        parents: Sequence[int],
+        names: Sequence[int],
+        values: Sequence[int],
+    ) -> int:
+        """Bulk append; returns the row id of the first appended node."""
+        base = self.num_nodes
+        self._kind.extend(kinds)
+        self._size.extend(sizes)
+        self._level.extend(levels)
+        self._frag.extend(np.full(len(kinds), len(self.frag_base) - 1, dtype=np.int64))
+        self._parent.extend(parents)
+        self._name.extend(names)
+        self._value.extend(values)
+        self._version += 1
+        return base
+
+    def append_attr(self, owner: int, name: int, value: int) -> int:
+        """Append one attribute, returning its attribute id."""
+        self._attr_owner.append(owner)
+        self._attr_name.append(name)
+        self._attr_value.append(value)
+        self._version += 1
+        return self.num_attrs - 1
+
+    # -------------------------------------------------------------- indices
+    def _refresh_indices(self) -> None:
+        if self._cache_version == self._version:
+            return
+        parent = self.parent
+        self._child_order = np.argsort(parent, kind="stable")
+        self._child_parents = parent[self._child_order]
+        owner = self.attr_owner
+        self._attr_order = np.argsort(owner, kind="stable")
+        self._attr_owners_sorted = owner[self._attr_order]
+        self._text_rows = np.nonzero(self.kind == NK_TEXT)[0]
+        self._cache_version = self._version
+
+    def children_ranges(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """For each node: the slice of the child index holding its children.
+
+        Returns ``(order, lo, hi)`` — children of ``nodes[i]`` are
+        ``order[lo[i]:hi[i]]``, already sorted in document order.
+        """
+        self._refresh_indices()
+        lo = np.searchsorted(self._child_parents, nodes, side="left")
+        hi = np.searchsorted(self._child_parents, nodes, side="right")
+        return self._child_order, lo, hi
+
+    def attr_ranges(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`children_ranges` but over the attribute table."""
+        self._refresh_indices()
+        lo = np.searchsorted(self._attr_owners_sorted, nodes, side="left")
+        hi = np.searchsorted(self._attr_owners_sorted, nodes, side="right")
+        return self._attr_order, lo, hi
+
+    def text_rows(self) -> np.ndarray:
+        """All text-node rows, ascending (== document order)."""
+        self._refresh_indices()
+        return self._text_rows
+
+    # ------------------------------------------------------------ structure
+    def frag_end(self, rows: np.ndarray) -> np.ndarray:
+        """Last row id (inclusive) of each row's fragment."""
+        bases = np.asarray(self.frag_base, dtype=np.int64)
+        b = bases[self.frag[rows]]
+        return b + self.size[b]
+
+    def root_of(self, rows: np.ndarray) -> np.ndarray:
+        """Fragment root (document node for loaded documents)."""
+        bases = np.asarray(self.frag_base, dtype=np.int64)
+        return bases[self.frag[rows]]
+
+    # --------------------------------------------------------- string value
+    def string_value_id(self, node: int) -> int:
+        """Pool surrogate of the node's string-value (cached per node)."""
+        cached = self._strvalue_cache.get(node)
+        if cached is not None:
+            return cached
+        kind = int(self.kind[node])
+        if kind in (NK_TEXT, NK_COMMENT, NK_PI):
+            sid = int(self.value[node])
+        else:
+            texts = self.text_rows()
+            lo = np.searchsorted(texts, node + 1)
+            hi = np.searchsorted(texts, node + int(self.size[node]), side="right")
+            rows = texts[lo:hi]
+            if len(rows) == 1:
+                sid = int(self.value[rows[0]])
+            elif len(rows) == 0:
+                sid = self.pool.intern("")
+            else:
+                sid = self.pool.intern(
+                    "".join(self.pool.value(int(v)) for v in self.value[rows])
+                )
+        self._strvalue_cache[node] = sid
+        return sid
+
+    def string_value_ids(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`string_value_id` over a batch of node rows."""
+        out = np.empty(len(nodes), dtype=np.int64)
+        sv = self.string_value_id
+        for i, n in enumerate(nodes):
+            out[i] = sv(int(n))
+        return out
+
+    # --------------------------------------------------------- construction
+    def new_text_node(self, value_id: int) -> int:
+        """Construct a parentless text node (``text { ... }``)."""
+        self.begin_fragment()
+        return self.append_node(NK_TEXT, 0, 0, -1, -1, value_id)
+
+    def new_attribute(self, name_id: int, value_id: int) -> int:
+        """Construct a parentless attribute (computed attribute constructor).
+
+        The owner is ``-1`` until an element constructor copies it.
+        """
+        return self.append_attr(-1, name_id, value_id)
+
+    def new_element(
+        self,
+        name_id: int,
+        attrs: Sequence[tuple[int, int]],
+        content: Sequence[tuple[str, int]],
+    ) -> int:
+        """Construct a new element tree (``element {..} {..}`` / direct).
+
+        ``content`` entries are ``('copy', node_row)`` — a deep copy of an
+        existing subtree (XQuery constructor copy semantics), ``('text',
+        value_id)`` — a new text child, or ``('attr', attr_id)`` — an
+        attribute to copy onto the new element.  Returns the new root row.
+        """
+        self.begin_fragment()
+        total = 1
+        for tag, payload in content:
+            if tag == "copy":
+                total += int(self.size[payload]) + 1
+            elif tag == "text":
+                total += 1
+        root = self.append_node(NK_ELEM, total - 1, 0, -1, name_id, -1)
+        for name, value in attrs:
+            self.append_attr(root, name, value)
+        for tag, payload in content:
+            if tag == "attr":
+                self.append_attr(
+                    root, int(self.attr_name[payload]), int(self.attr_value[payload])
+                )
+            elif tag == "text":
+                self.append_node(NK_TEXT, 0, 1, root, -1, payload)
+            elif tag == "copy":
+                self._copy_subtree(payload, root)
+            else:  # pragma: no cover - compiler always passes valid tags
+                raise DynamicError(f"bad constructor content tag {tag!r}")
+        return root
+
+    def new_document_fragment(self) -> int:
+        """Reserved for document-node constructors (not in the dialect)."""
+        raise DynamicError("document {} constructors are not supported")
+
+    def _copy_subtree(self, src: int, new_parent: int) -> int:
+        """Deep-copy rows ``src..src+size`` under ``new_parent``."""
+        count = int(self.size[src]) + 1
+        dest = self.num_nodes
+        rows = slice(src, src + count)
+        kinds = self.kind[rows].copy()
+        sizes = self.size[rows].copy()
+        levels = self.level[rows] - int(self.level[src]) + int(self.level[new_parent]) + 1
+        parents = self.parent[rows] - src + dest
+        parents = np.asarray(parents, dtype=np.int64).copy()
+        parents[0] = new_parent
+        names = self.name[rows].copy()
+        values = self.value[rows].copy()
+        # attribute copies: owners in [src, src+count) — use the index
+        order, lo, hi = self.attr_ranges(np.arange(src, src + count, dtype=np.int64))
+        self.append_nodes(kinds, sizes, levels, parents, names, values)
+        for i in range(count):
+            for j in order[lo[i] : hi[i]]:
+                self.append_attr(
+                    dest + i, int(self.attr_name[j]), int(self.attr_value[j])
+                )
+        return dest
+
+    # ------------------------------------------------------------ node info
+    def name_of(self, node: int) -> str:
+        """Tag name of an element / PI target."""
+        nid = int(self.name[node])
+        return self.pool.value(nid) if nid >= 0 else ""

@@ -1,0 +1,100 @@
+"""Shredding: parsed XML trees → the XPath Accelerator encoding.
+
+One pre-order pass assigns each node its ``(pre, size, level)`` triple —
+``pre`` implicitly as the arena row id — interning every tag name,
+attribute name and text value in the shared pool (so identical property
+values share one surrogate, the paper's Section 3.1 storage optimisation).
+"""
+
+from __future__ import annotations
+
+from repro.encoding.arena import (
+    NK_COMMENT,
+    NK_DOC,
+    NK_ELEM,
+    NK_PI,
+    NK_TEXT,
+    NodeArena,
+)
+from repro.xml.parser import XMLComment, XMLElement, XMLPi, XMLText, parse_document
+
+
+def shred_text(arena: NodeArena, xml_text: str) -> int:
+    """Parse and shred an XML document; returns the document-node row."""
+    return shred_tree(arena, parse_document(xml_text))
+
+
+def shred_tree(arena: NodeArena, root: XMLElement) -> int:
+    """Shred a parsed tree into a fresh fragment with a document node.
+
+    Returns the document node's arena row (what ``fn:doc`` yields).
+    """
+    arena.begin_fragment()
+    intern = arena.pool.intern
+
+    kinds: list[int] = []
+    sizes: list[int] = []
+    levels: list[int] = []
+    parents: list[int] = []
+    names: list[int] = []
+    values: list[int] = []
+    attrs: list[tuple[int, int, int]] = []  # (owner offset, name, value)
+
+    def visit(node, level: int, parent_offset: int) -> int:
+        """Append ``node``; returns its subtree size (descendant count)."""
+        offset = len(kinds)
+        if isinstance(node, XMLText):
+            kinds.append(NK_TEXT)
+            sizes.append(0)
+            levels.append(level)
+            parents.append(parent_offset)
+            names.append(-1)
+            values.append(intern(node.text))
+            return 0
+        if isinstance(node, XMLComment):
+            kinds.append(NK_COMMENT)
+            sizes.append(0)
+            levels.append(level)
+            parents.append(parent_offset)
+            names.append(-1)
+            values.append(intern(node.text))
+            return 0
+        if isinstance(node, XMLPi):
+            kinds.append(NK_PI)
+            sizes.append(0)
+            levels.append(level)
+            parents.append(parent_offset)
+            names.append(intern(node.target))
+            values.append(intern(node.data))
+            return 0
+        # element
+        kinds.append(NK_ELEM)
+        sizes.append(0)  # patched below
+        levels.append(level)
+        parents.append(parent_offset)
+        names.append(intern(node.name))
+        values.append(-1)
+        for aname, avalue in node.attributes:
+            attrs.append((offset, intern(aname), intern(avalue)))
+        size = 0
+        for child in node.children:
+            size += 1 + visit(child, level + 1, offset)
+        sizes[offset] = size
+        return size
+
+    # document node at offset 0
+    kinds.append(NK_DOC)
+    sizes.append(0)
+    levels.append(0)
+    parents.append(-1)
+    names.append(-1)
+    values.append(-1)
+    sizes[0] = 1 + visit(root, 1, 0)
+
+    # parents were fragment-relative offsets; rebase to global row ids
+    first_row = arena.num_nodes
+    rebased = [p + first_row if p >= 0 else -1 for p in parents]
+    base = arena.append_nodes(kinds, sizes, levels, rebased, names, values)
+    for owner_offset, name_id, value_id in attrs:
+        arena.append_attr(base + owner_offset, name_id, value_id)
+    return base

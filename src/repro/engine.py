@@ -1,0 +1,174 @@
+"""The Pathfinder engine: the public, end-to-end API.
+
+Usage::
+
+    from repro import PathfinderEngine
+
+    engine = PathfinderEngine()
+    engine.load_document("auction.xml", xml_text, default=True)
+    result = engine.execute('for $p in /site/people/person return $p/name')
+    print(result.serialize())
+
+The engine owns the node arena (all loaded documents plus any nodes the
+queries construct), compiles queries through the loop-lifting compiler,
+optionally optimizes the plan, evaluates it on the column-store evaluator
+and serialises the result.  ``explain()`` exposes every compilation stage
+(the demonstrator's "look under the hood" hooks, paper Section 4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compiler.loop_lifting import Compiler
+from repro.compiler.serialize import result_values, serialize_result
+from repro.encoding.arena import NodeArena
+from repro.encoding.shred import shred_text
+from repro.encoding.storage import StorageReport, measure_storage
+from repro.errors import PathfinderError
+from repro.relational import algebra as alg
+from repro.relational.dot import to_ascii, to_dot
+from repro.relational.evaluate import EvalContext, evaluate
+from repro.relational.optimizer import OptimizerStats, optimize
+from repro.relational.table import Table
+from repro.xquery.core import desugar_module
+from repro.xquery.parser import parse_query
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query execution."""
+
+    table: Table
+    engine: "PathfinderEngine"
+    plan: alg.Op
+    compile_seconds: float
+    execute_seconds: float
+    trace: dict | None = None
+
+    def serialize(self) -> str:
+        """Result sequence as XML/text (the paper's post-processor)."""
+        return serialize_result(self.table, self.engine.arena)
+
+    def values(self) -> list:
+        """Result sequence as Python values (nodes become NodeHandles)."""
+        return result_values(self.table, self.engine.arena)
+
+
+@dataclass
+class ExplainReport:
+    """Every stage of the compilation of one query."""
+
+    query: str
+    module: object
+    core: object
+    plan: alg.Op
+    optimized: alg.Op
+    stats: OptimizerStats
+
+    @property
+    def plan_ascii(self) -> str:
+        return to_ascii(self.optimized)
+
+    @property
+    def plan_dot(self) -> str:
+        return to_dot(self.optimized, title="optimized plan")
+
+    @property
+    def unoptimized_ascii(self) -> str:
+        return to_ascii(self.plan)
+
+    @property
+    def unoptimized_dot(self) -> str:
+        return to_dot(self.plan, title="loop-lifted plan")
+
+    @property
+    def mil(self) -> str:
+        """The optimized plan as a MIL program (the paper's demo artifact:
+        'translated into ... a MIL program' shipped to MonetDB)."""
+        from repro.compiler.milgen import to_mil
+
+        return to_mil(self.optimized, self.query)
+
+
+class PathfinderEngine:
+    """A Pathfinder instance: documents + compiler + relational back-end."""
+
+    def __init__(self, use_staircase: bool = True, use_optimizer: bool = True):
+        self.arena = NodeArena()
+        self.documents: dict[str, int] = {}
+        self.default_document: str | None = None
+        self.use_staircase = use_staircase
+        self.use_optimizer = use_optimizer
+        self._xml_bytes = 0
+
+    # ------------------------------------------------------------ documents
+    def load_document(self, uri: str, xml_text: str, default: bool = False) -> int:
+        """Parse, shred and register a document; returns its node count."""
+        if uri in self.documents:
+            raise PathfinderError(f"document {uri!r} already loaded")
+        before = self.arena.num_nodes
+        root = shred_text(self.arena, xml_text)
+        self.documents[uri] = root
+        self._xml_bytes += len(xml_text.encode("utf-8"))
+        if default or self.default_document is None:
+            self.default_document = uri
+        return self.arena.num_nodes - before
+
+    def storage_report(self) -> StorageReport:
+        """Byte-level storage accounting (Section 3.1 experiment)."""
+        return measure_storage(self.arena, self._xml_bytes)
+
+    # -------------------------------------------------------------- queries
+    def compile(self, query: str) -> tuple[alg.Op, OptimizerStats]:
+        """Compile (and optionally optimize) a query to an algebra plan."""
+        module = desugar_module(parse_query(query))
+        compiler = Compiler(self.documents, self.default_document)
+        plan = compiler.compile_module(module)
+        stats = OptimizerStats()
+        if self.use_optimizer:
+            plan = optimize(plan, stats)
+        else:
+            stats.ops_before = stats.ops_after = alg.op_count(plan)
+        return plan, stats
+
+    def execute(self, query: str, trace: bool = False) -> QueryResult:
+        """Compile and run a query, returning a :class:`QueryResult`."""
+        t0 = time.perf_counter()
+        plan, _ = self.compile(query)
+        t1 = time.perf_counter()
+        trace_map: dict | None = {} if trace else None
+        ctx = EvalContext(
+            self.arena,
+            documents=self.documents,
+            trace=trace_map,
+            use_staircase=self.use_staircase,
+        )
+        table = evaluate(plan, ctx)
+        t2 = time.perf_counter()
+        return QueryResult(
+            table=table,
+            engine=self,
+            plan=plan,
+            compile_seconds=t1 - t0,
+            execute_seconds=t2 - t1,
+            trace=trace_map,
+        )
+
+    def explain(self, query: str) -> ExplainReport:
+        """Expose every compilation stage for a query (demo hooks)."""
+        module = parse_query(query)
+        core = desugar_module(module)
+        compiler = Compiler(self.documents, self.default_document)
+        plan = compiler.compile_module(core)
+        stats = OptimizerStats()
+        optimized = optimize(plan, stats) if self.use_optimizer else plan
+        return ExplainReport(
+            query=query,
+            module=module,
+            core=core,
+            plan=plan,
+            optimized=optimized,
+            stats=stats,
+        )

@@ -1,0 +1,37 @@
+"""The relational column-store substrate (the MonetDB stand-in).
+
+This subpackage implements everything below the dashed line of the paper's
+Figure 1: typed columns, tables, the "assembly-style" relational algebra of
+Table 1 (projection, selection, disjoint union, difference, duplicate
+elimination, equi-join, cross product, row numbering, staircase join, node
+construction and elementwise arithmetic/comparison maps), a memoizing DAG
+evaluator, the staircase-join kernels, and a peephole plan optimizer.
+"""
+
+from repro.relational.items import (
+    ItemColumn,
+    StringPool,
+    K_INT,
+    K_DBL,
+    K_STR,
+    K_BOOL,
+    K_NODE,
+    K_ATTR,
+    K_UNTYPED,
+    K_QNAME,
+)
+from repro.relational.table import Table
+
+__all__ = [
+    "ItemColumn",
+    "StringPool",
+    "Table",
+    "K_INT",
+    "K_DBL",
+    "K_STR",
+    "K_BOOL",
+    "K_NODE",
+    "K_ATTR",
+    "K_UNTYPED",
+    "K_QNAME",
+]

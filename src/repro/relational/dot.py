@@ -1,0 +1,68 @@
+"""Plan rendering: Graphviz dot output and a compact ASCII tree.
+
+The demo system's "graphical output of relational query plans at
+different compilation stages" (paper Section 4, Figure 5).  ``to_dot``
+emits standard Graphviz which can be rendered offline; ``to_ascii``
+prints an indented tree with shared subplans referenced by id so DAG
+sharing stays visible.
+"""
+
+from __future__ import annotations
+
+from repro.relational import algebra as alg
+
+
+def to_dot(root: alg.Op, title: str = "plan") -> str:
+    """Render a plan DAG as a Graphviz digraph."""
+    ids: dict[int, str] = {}
+    lines = [
+        "digraph plan {",
+        f'  label="{title}";',
+        "  node [shape=box, fontname=monospace, fontsize=10];",
+    ]
+    for node in alg.walk(root):
+        name = f"n{len(ids)}"
+        ids[id(node)] = name
+        label = node.label().replace('"', '\\"')
+        lines.append(f'  {name} [label="{label}"];')
+        for child in node.children:
+            lines.append(f"  {name} -> {ids[id(child)]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(root: alg.Op) -> str:
+    """Render a plan as an indented tree; shared subplans print once and
+    are referenced as ``@N`` afterwards."""
+    numbering: dict[int, int] = {}
+    shared: set[int] = set()
+    _find_shared(root, {}, shared)
+    lines: list[str] = []
+    _ascii_walk(root, 0, numbering, shared, lines)
+    return "\n".join(lines)
+
+
+def _find_shared(node: alg.Op, seen: dict[int, int], shared: set[int]) -> None:
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        count = seen.get(id(n), 0)
+        seen[id(n)] = count + 1
+        if count == 0:
+            stack.extend(n.children)
+        else:
+            shared.add(id(n))
+
+
+def _ascii_walk(node, depth, numbering, shared, lines) -> None:
+    indent = "  " * depth
+    if id(node) in numbering:
+        lines.append(f"{indent}@{numbering[id(node)]}")
+        return
+    tag = ""
+    if id(node) in shared:
+        numbering[id(node)] = len(numbering) + 1
+        tag = f"  [@{numbering[id(node)]}]"
+    lines.append(f"{indent}{node.label()}{tag}")
+    for child in node.children:
+        _ascii_walk(child, depth + 1, numbering, shared, lines)

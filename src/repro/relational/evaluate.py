@@ -1,0 +1,871 @@
+"""The memoising, bulk evaluator for algebra plan DAGs.
+
+Evaluation is column-at-a-time (MonetDB style): each operator consumes
+whole input tables and produces a whole output table.  Plans are DAGs —
+loop-lifting shares subplans heavily — so results are memoised per
+operator node, and a shared subplan runs exactly once.
+
+The evaluator needs an :class:`EvalContext` carrying the node arena (for
+staircase joins, atomization and node construction) and the string pool.
+An optional ``trace`` dict collects every operator's result table, which
+powers the demonstrator's "reveal the result computed for any
+subexpression" hook (paper Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.encoding.arena import NodeArena
+from repro.errors import AlgebraError, DynamicError
+from repro.relational import algebra as alg
+from repro.relational import items as it
+from repro.relational.items import ItemColumn, K_ATTR, K_BOOL, K_DBL, K_INT, K_NODE, K_STR, K_UNTYPED
+from repro.relational.kernels import (
+    combine_keys,
+    in_set,
+    join_indices,
+    row_number_per_group,
+)
+from repro.relational.staircase import naive_step, staircase_step
+from repro.relational.table import Column, Table
+
+
+@dataclass
+class EvalContext:
+    """Everything an algebra plan needs at runtime."""
+
+    arena: NodeArena
+    documents: dict[str, int] = field(default_factory=dict)
+    trace: dict[int, Table] | None = None
+    use_staircase: bool = True
+    step_counter: list[int] = field(default_factory=lambda: [0])
+
+    @property
+    def pool(self):
+        return self.arena.pool
+
+
+def evaluate(root: alg.Op, ctx: EvalContext) -> Table:
+    """Evaluate a plan DAG bottom-up with memoisation."""
+    memo: dict[int, Table] = {}
+    # iterative post-order to survive very deep plans
+    stack: list[tuple[alg.Op, bool]] = [(root, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for child in node.children:
+                if id(child) not in memo:
+                    stack.append((child, False))
+            continue
+        inputs = [memo[id(c)] for c in node.children]
+        result = _dispatch(node, inputs, ctx)
+        memo[id(node)] = result
+        if ctx.trace is not None:
+            ctx.trace[id(node)] = result
+    return memo[id(root)]
+
+
+# --------------------------------------------------------------------------
+# operator implementations
+# --------------------------------------------------------------------------
+def _dispatch(node: alg.Op, inputs: list[Table], ctx: EvalContext) -> Table:
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise AlgebraError(f"no evaluator for {type(node).__name__}")
+    return handler(node, inputs, ctx)
+
+
+def _eval_lit(node: alg.Lit, inputs, ctx) -> Table:
+    cols: dict[str, Column] = {}
+    for i, name in enumerate(node.schema):
+        values = [row[i] for row in node.rows]
+        if name in node.item_cols:
+            cols[name] = ItemColumn.from_values(values, ctx.pool)
+        else:
+            cols[name] = np.asarray(values, dtype=np.int64) if values else np.empty(0, dtype=np.int64)
+    return Table(cols)
+
+
+def _eval_project(node: alg.Project, inputs, ctx) -> Table:
+    return inputs[0].project(node.cols)
+
+
+def _operand_column(table: Table, operand, n: int, ctx) -> Column:
+    tag, v = operand
+    if tag == "col":
+        return table.col(v)
+    # constant: broadcast — plain ints become numeric columns, everything
+    # else becomes a constant item column
+    if isinstance(v, (int, np.integer)) and not isinstance(v, bool):
+        return np.full(n, int(v), dtype=np.int64)
+    kind, payload = it.encode_item(v, ctx.pool)
+    return ItemColumn(np.full(n, kind, dtype=np.uint8), np.full(n, payload, dtype=np.int64))
+
+
+def _compare_columns(op: str, lhs: Column, rhs: Column, ctx) -> np.ndarray:
+    if isinstance(lhs, ItemColumn) or isinstance(rhs, ItemColumn):
+        if not isinstance(lhs, ItemColumn):
+            lhs = ItemColumn.from_ints(lhs)
+        if not isinstance(rhs, ItemColumn):
+            rhs = ItemColumn.from_ints(rhs)
+        return it.compare(op, lhs, rhs, ctx.pool)
+    return it._cmp_arrays(op, lhs, rhs)
+
+
+def _eval_select(node: alg.Select, inputs, ctx) -> Table:
+    table = inputs[0]
+    n = table.num_rows
+    lhs = _operand_column(table, node.lhs, n, ctx)
+    rhs = _operand_column(table, node.rhs, n, ctx)
+    mask = _compare_columns(node.op, lhs, rhs, ctx)
+    return table.take(mask)
+
+
+def _eval_union(node: alg.Union, inputs, ctx) -> Table:
+    return Table.concat(inputs)
+
+
+def _key_arrays(table: Table, keys: tuple[str, ...]) -> list[np.ndarray]:
+    out: list[np.ndarray] = []
+    for k in keys:
+        col = table.col(k)
+        if isinstance(col, ItemColumn):
+            kinds, payload = it.join_keys(col)
+            out.append(kinds.astype(np.int64))
+            out.append(payload)
+        else:
+            out.append(col)
+    return out
+
+
+def _combined_two_sided(
+    left: Table, right: Table, lkeys: tuple[str, ...], rkeys: tuple[str, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    la = _key_arrays(left, lkeys)
+    ra = _key_arrays(right, rkeys)
+    if len(la) != len(ra):
+        raise AlgebraError("join key item-ness mismatch between sides")
+    nl = left.num_rows
+    combined = combine_keys([np.concatenate([a, b]) for a, b in zip(la, ra)])
+    return combined[:nl], combined[nl:]
+
+
+def _eval_difference(node: alg.Difference, inputs, ctx) -> Table:
+    left, right = inputs
+    keys = node.keys or left.schema
+    lk, rk = _combined_two_sided(left, right, tuple(keys), tuple(keys))
+    mask = ~in_set(lk, rk)
+    return left.take(mask)
+
+
+def _eval_distinct(node: alg.Distinct, inputs, ctx) -> Table:
+    table = inputs[0]
+    keys = node.keys or table.schema
+    arrays = _key_arrays(table, tuple(keys))
+    combined = combine_keys(arrays)
+    if node.order_col is not None and table.num_rows:
+        # keep the duplicate with the smallest order value (sequence order)
+        order = np.argsort(table.num(node.order_col), kind="stable")
+        _, first_in_order = np.unique(combined[order], return_index=True)
+        first_idx = order[first_in_order]
+    else:
+        _, first_idx = np.unique(combined, return_index=True)
+    first_idx.sort()
+    return table.take(first_idx)
+
+
+def _merged_table(left: Table, right: Table, li: np.ndarray, ri: np.ndarray) -> Table:
+    overlap = set(left.schema) & set(right.schema)
+    if overlap:
+        raise AlgebraError(f"join/cross output schema collision: {sorted(overlap)}")
+    cols: dict[str, Column] = {}
+    lt = left.take(li)
+    rt = right.take(ri)
+    cols.update(lt.columns)
+    cols.update(rt.columns)
+    return Table(cols)
+
+
+def _eval_join(node: alg.Join, inputs, ctx) -> Table:
+    left, right = inputs
+    lkeys = tuple(l for l, _ in node.keys)
+    rkeys = tuple(r for _, r in node.keys)
+    lk, rk = _combined_two_sided(left, right, lkeys, rkeys)
+    li, ri = join_indices(lk, rk)
+    return _merged_table(left, right, li, ri)
+
+
+def _eval_semijoin(node: alg.SemiJoin, inputs, ctx) -> Table:
+    left, right = inputs
+    lkeys = tuple(l for l, _ in node.keys)
+    rkeys = tuple(r for _, r in node.keys)
+    lk, rk = _combined_two_sided(left, right, lkeys, rkeys)
+    return left.take(in_set(lk, rk))
+
+
+def _eval_cross(node: alg.Cross, inputs, ctx) -> Table:
+    left, right = inputs
+    nl, nr = left.num_rows, right.num_rows
+    li = np.repeat(np.arange(nl, dtype=np.int64), nr)
+    ri = np.tile(np.arange(nr, dtype=np.int64), nl)
+    return _merged_table(left, right, li, ri)
+
+
+def _order_keys_for(table: Table, order, ctx) -> list[np.ndarray]:
+    keys: list[np.ndarray] = []
+    for name, descending in order:
+        col = table.col(name)
+        if isinstance(col, ItemColumn):
+            cls, val = it.order_columns(col, ctx.pool)
+            if descending:
+                cls, val = -cls, -val
+            keys.append(cls)
+            keys.append(val)
+        else:
+            keys.append(-col if descending else col)
+    return keys
+
+
+def _eval_rownum(node: alg.RowNum, inputs, ctx) -> Table:
+    table = inputs[0]
+    n = table.num_rows
+    keys = _order_keys_for(table, node.order, ctx)
+    if node.group is not None:
+        group = table.num(node.group)
+        lex_keys = keys[::-1] + [group]  # np.lexsort: last key is primary
+        order_idx = np.lexsort(lex_keys) if n else np.empty(0, dtype=np.int64)
+        ranks_sorted = row_number_per_group(group[order_idx])
+    else:
+        if keys:
+            order_idx = np.lexsort(keys[::-1]) if n else np.empty(0, dtype=np.int64)
+        else:
+            order_idx = np.arange(n, dtype=np.int64)
+        ranks_sorted = np.arange(1, n + 1, dtype=np.int64)
+    out = np.empty(n, dtype=np.int64)
+    out[order_idx] = ranks_sorted
+    return table.with_column(node.target, out)
+
+
+def _eval_map(node: alg.Map, inputs, ctx) -> Table:
+    table = inputs[0]
+    n = table.num_rows
+    fn = _MAP_FNS.get(node.fn)
+    if fn is None:
+        raise AlgebraError(f"unknown map function {node.fn!r}")
+    args = [_operand_column(table, a, n, ctx) for a in node.args]
+    return table.with_column(node.target, fn(ctx, *args))
+
+
+def _eval_aggr(node: alg.Aggr, inputs, ctx) -> Table:
+    table = inputs[0]
+    n = table.num_rows
+    if node.group is None:
+        groups = np.zeros(n, dtype=np.int64)
+    else:
+        groups = table.num(node.group)
+    if node.order_col is not None:
+        order_idx = np.lexsort((table.num(node.order_col), groups))
+    else:
+        order_idx = np.argsort(groups, kind="stable")
+    g_sorted = groups[order_idx]
+    starts = np.nonzero(
+        np.concatenate(([True], g_sorted[1:] != g_sorted[:-1]))
+    )[0] if n else np.empty(0, dtype=np.int64)
+    group_vals = g_sorted[starts] if n else np.empty(0, dtype=np.int64)
+    counts = np.diff(np.concatenate((starts, [n]))) if n else np.empty(0, dtype=np.int64)
+
+    if node.kind == "count":
+        agg_col: Column = counts.astype(np.int64)
+    elif node.kind in ("sum", "avg", "min", "max"):
+        col = table.col(node.arg)
+        if not isinstance(col, ItemColumn):
+            col = ItemColumn.from_ints(col)
+        col = col.take(order_idx)
+        if col.is_homogeneous(K_INT) and node.kind in ("sum", "min", "max"):
+            vals = col.data.astype(np.float64)
+            integral = True
+        else:
+            vals = it.to_double(col, ctx.pool)
+            integral = False
+        if len(vals) == 0:
+            reduced = np.empty(0, dtype=np.float64)
+        elif node.kind == "sum":
+            reduced = np.add.reduceat(vals, starts)
+        elif node.kind == "min":
+            reduced = np.minimum.reduceat(vals, starts)
+        elif node.kind == "max":
+            reduced = np.maximum.reduceat(vals, starts)
+        else:  # avg
+            reduced = np.add.reduceat(vals, starts) / counts
+        if integral:
+            agg_col = ItemColumn.from_ints(reduced.astype(np.int64))
+        else:
+            agg_col = ItemColumn.from_doubles(reduced)
+    elif node.kind == "str_join":
+        col = table.item(node.arg).take(order_idx)
+        sids = it.to_string_ids(col, ctx.pool)
+        pool = ctx.pool
+        pieces = [pool.value(int(s)) for s in sids]
+        joined: list[str] = []
+        for i, s in enumerate(starts):
+            e = n if i + 1 == len(starts) else starts[i + 1]
+            joined.append(node.sep.join(pieces[s:e]))
+        agg_col = ItemColumn.from_pooled(
+            K_STR, np.asarray([pool.intern(x) for x in joined], dtype=np.int64)
+        )
+    else:
+        raise AlgebraError(f"unknown aggregate {node.kind!r}")
+
+    if node.group is None:
+        if n == 0:
+            # count over empty input still yields one row (value 0);
+            # other aggregates yield no row (the compiler fills defaults)
+            if node.kind == "count":
+                return Table({node.target: np.asarray([0], dtype=np.int64)})
+            empty: Column
+            if isinstance(agg_col, np.ndarray):
+                empty = np.empty(0, dtype=np.int64)
+            else:
+                empty = ItemColumn.empty()
+            return Table({node.target: empty})
+        return Table({node.target: agg_col})
+    return Table({node.group: group_vals, node.target: agg_col})
+
+
+def _eval_step(node: alg.StepJoin, inputs, ctx) -> Table:
+    table = inputs[0]
+    iters = table.num(node.iter_col)
+    item = table.col(node.item_col)
+    if isinstance(item, ItemColumn):
+        if len(item) and not np.all((item.kinds == K_NODE)):
+            if np.any(item.kinds == K_ATTR):
+                raise DynamicError(
+                    "axis steps from attribute nodes are not supported"
+                )
+            raise DynamicError(
+                "path step applied to a non-node item", code="err:XPTY0019"
+            )
+        nodes = item.data
+    else:
+        nodes = item
+    step = staircase_step if ctx.use_staircase else naive_step
+    ctx.step_counter[0] += 1
+    out_iter, rows = step(ctx.arena, iters, nodes, node.axis, node.test)
+    kind = K_ATTR if node.axis.value == "attribute" else K_NODE
+    return Table(
+        {node.iter_col: out_iter, node.item_col: ItemColumn.of_kind(kind, rows)}
+    )
+
+
+def _eval_atomize(node: alg.Atomize, inputs, ctx) -> Table:
+    table = inputs[0]
+    col = table.item(node.arg)
+    kinds = col.kinds.copy()
+    data = col.data.copy()
+    arena = ctx.arena
+    m = col.kinds == K_NODE
+    if m.any():
+        data[m] = arena.string_value_ids(col.data[m])
+        kinds[m] = K_UNTYPED
+    m = col.kinds == K_ATTR
+    if m.any():
+        data[m] = arena.attr_value[col.data[m]]
+        kinds[m] = K_UNTYPED
+    return table.with_column(node.target, ItemColumn(kinds, data))
+
+
+def _content_spec(arena, pool, kinds, data) -> list[tuple[str, int]]:
+    """Turn one iteration's content items into arena constructor entries,
+    merging runs of adjacent atomic items into single text entries."""
+    spec: list[tuple[str, int]] = []
+    atom_run: list[str] = []
+
+    def flush():
+        if atom_run:
+            spec.append(("text", pool.intern(" ".join(atom_run))))
+            atom_run.clear()
+
+    for kind, payload in zip(kinds, data):
+        kind = int(kind)
+        payload = int(payload)
+        if kind == K_NODE:
+            flush()
+            spec.append(("copy", payload))
+        elif kind == K_ATTR:
+            flush()
+            spec.append(("attr", payload))
+        else:
+            atom_run.append(it.lexical(kind, payload, pool))
+    flush()
+    return spec
+
+
+def _eval_elem(node: alg.ElemConstr, inputs, ctx) -> Table:
+    names, content = inputs
+    arena, pool = ctx.arena, ctx.pool
+    n_iter = names.num("iter")
+    n_item = names.item("item")
+    c_iter = content.num("iter")
+    c_kinds = content.item("item").kinds
+    c_data = content.item("item").data
+    if "pos" in content.columns:
+        order = np.lexsort((content.num("pos"), c_iter))
+    else:
+        order = np.argsort(c_iter, kind="stable")
+    c_iter, c_kinds, c_data = c_iter[order], c_kinds[order], c_data[order]
+    out_nodes = np.empty(len(n_iter), dtype=np.int64)
+    lo = np.searchsorted(c_iter, n_iter, side="left")
+    hi = np.searchsorted(c_iter, n_iter, side="right")
+    name_sids = it.to_string_ids(n_item, pool)
+    for i in range(len(n_iter)):
+        spec = _content_spec(arena, pool, c_kinds[lo[i]:hi[i]], c_data[lo[i]:hi[i]])
+        out_nodes[i] = arena.new_element(int(name_sids[i]), [], spec)
+    return Table({"iter": n_iter, "item": ItemColumn.from_nodes(out_nodes)})
+
+
+def _eval_text(node: alg.TextConstr, inputs, ctx) -> Table:
+    content = inputs[0]
+    arena, pool = ctx.arena, ctx.pool
+    iters = content.num("iter")
+    sids = it.to_string_ids(content.item("item"), pool)
+    out = np.empty(len(iters), dtype=np.int64)
+    for i, sid in enumerate(sids):
+        out[i] = arena.new_text_node(int(sid))
+    return Table({"iter": iters, "item": ItemColumn.from_nodes(out)})
+
+
+def _eval_attr(node: alg.AttrConstr, inputs, ctx) -> Table:
+    names, values = inputs
+    arena, pool = ctx.arena, ctx.pool
+    n_iter = names.num("iter")
+    name_sids = it.to_string_ids(names.item("item"), pool)
+    v_iter = values.num("iter")
+    value_sids = it.to_string_ids(values.item("item"), pool)
+    by_iter = {int(i): int(s) for i, s in zip(v_iter, value_sids)}
+    empty = pool.intern("")
+    out = np.empty(len(n_iter), dtype=np.int64)
+    for i in range(len(n_iter)):
+        sid = by_iter.get(int(n_iter[i]), empty)
+        out[i] = arena.new_attribute(int(name_sids[i]), sid)
+    return Table({"iter": n_iter, "item": ItemColumn.of_kind(K_ATTR, out)})
+
+
+def _eval_genrange(node: alg.GenRange, inputs, ctx) -> Table:
+    table = inputs[0]
+    iters = table.num("iter")
+    lo_col = table.col(node.lo_col)
+    hi_col = table.col(node.hi_col)
+    lo = lo_col.data if isinstance(lo_col, ItemColumn) else lo_col
+    hi = hi_col.data if isinstance(hi_col, ItemColumn) else hi_col
+    from repro.relational.kernels import multi_arange
+
+    counts = np.maximum(hi + 1 - lo, 0)
+    values = multi_arange(lo, hi + 1)
+    out_iter = np.repeat(iters, counts)
+    pos = row_number_per_group(out_iter) if len(out_iter) else np.empty(0, dtype=np.int64)
+    return Table(
+        {"iter": out_iter, "pos": pos, "item": ItemColumn.from_ints(values)}
+    )
+
+
+def _eval_docroot(node: alg.DocRoot, inputs, ctx) -> Table:
+    row = ctx.documents.get(node.uri)
+    if row is None:
+        raise DynamicError(f"document {node.uri!r} is not loaded", code="err:FODC0002")
+    return Table(
+        {
+            "iter": np.asarray([1], dtype=np.int64),
+            "pos": np.asarray([1], dtype=np.int64),
+            "item": ItemColumn.from_nodes([row]),
+        }
+    )
+
+
+_HANDLERS: dict[type, Callable] = {
+    alg.Lit: _eval_lit,
+    alg.Project: _eval_project,
+    alg.Select: _eval_select,
+    alg.Union: _eval_union,
+    alg.Difference: _eval_difference,
+    alg.Distinct: _eval_distinct,
+    alg.Join: _eval_join,
+    alg.SemiJoin: _eval_semijoin,
+    alg.Cross: _eval_cross,
+    alg.RowNum: _eval_rownum,
+    alg.Map: _eval_map,
+    alg.Aggr: _eval_aggr,
+    alg.StepJoin: _eval_step,
+    alg.Atomize: _eval_atomize,
+    alg.ElemConstr: _eval_elem,
+    alg.TextConstr: _eval_text,
+    alg.AttrConstr: _eval_attr,
+    alg.DocRoot: _eval_docroot,
+    alg.GenRange: _eval_genrange,
+}
+
+
+# --------------------------------------------------------------------------
+# map functions (the ⊛ operator repertoire)
+# --------------------------------------------------------------------------
+def _as_item(col: Column) -> ItemColumn:
+    return col if isinstance(col, ItemColumn) else ItemColumn.from_ints(col)
+
+
+def _fn_arith(op):
+    def fn(ctx, a, b):
+        return it.arithmetic(op, _as_item(a), _as_item(b), ctx.pool)
+
+    return fn
+
+
+def _fn_cmp(op):
+    def fn(ctx, a, b):
+        return ItemColumn.from_bools(
+            _compare_columns(op, a, b, ctx)
+        )
+
+    return fn
+
+
+def _fn_neg(ctx, a):
+    return it.negate(_as_item(a), ctx.pool)
+
+
+def _fn_and(ctx, a, b):
+    return ItemColumn.from_bools((_as_item(a).data != 0) & (_as_item(b).data != 0))
+
+
+def _fn_or(ctx, a, b):
+    return ItemColumn.from_bools((_as_item(a).data != 0) | (_as_item(b).data != 0))
+
+
+def _fn_not(ctx, a):
+    return ItemColumn.from_bools(_as_item(a).data == 0)
+
+
+def _fn_ebv(ctx, a):
+    return ItemColumn.from_bools(it.ebv(_as_item(a), ctx.pool))
+
+
+def _fn_is_node(ctx, a):
+    kinds = _as_item(a).kinds
+    return ItemColumn.from_bools((kinds == K_NODE) | (kinds == K_ATTR))
+
+
+def _fn_kind_code(ctx, a):
+    return _as_item(a).kinds.astype(np.int64)
+
+
+def _fn_is_numeric(ctx, a):
+    kinds = _as_item(a).kinds
+    return ItemColumn.from_bools((kinds == K_INT) | (kinds == K_DBL))
+
+
+def _fn_node_kind(ctx, a):
+    """Arena node kind of node items (-1 for atomics, -2 for attributes)."""
+    a = _as_item(a)
+    out = np.full(len(a), -1, dtype=np.int64)
+    m = a.kinds == K_NODE
+    if m.any():
+        out[m] = ctx.arena.kind[a.data[m]]
+    out[a.kinds == K_ATTR] = -2
+    return out
+
+
+def _fn_root_of(ctx, a):
+    a = _as_item(a)
+    if len(a) and not np.all(a.kinds == K_NODE):
+        raise DynamicError("fn:root requires nodes", code="err:XPTY0004")
+    return ItemColumn.from_nodes(ctx.arena.root_of(a.data))
+
+
+def _fn_cast_dbl(ctx, a):
+    return ItemColumn.from_doubles(it.to_double(_as_item(a), ctx.pool))
+
+
+def _fn_cast_int(ctx, a):
+    vals = it.to_double(_as_item(a), ctx.pool)
+    if np.any(np.isnan(vals)):
+        raise DynamicError("cannot cast to xs:integer", code="err:FORG0001")
+    return ItemColumn.from_ints(np.trunc(vals).astype(np.int64))
+
+
+def _fn_cast_str(ctx, a):
+    return ItemColumn.from_pooled(K_STR, it.to_string_ids(_as_item(a), ctx.pool))
+
+
+def _fn_node_eq(ctx, a, b):
+    a, b = _as_item(a), _as_item(b)
+    return ItemColumn.from_bools((a.data == b.data) & (a.kinds == b.kinds))
+
+
+def _fn_node_before(ctx, a, b):
+    return ItemColumn.from_bools(_as_item(a).data < _as_item(b).data)
+
+
+def _fn_node_after(ctx, a, b):
+    return ItemColumn.from_bools(_as_item(a).data > _as_item(b).data)
+
+
+def _str_pairs(ctx, a, b):
+    pool = ctx.pool
+    sa = it.to_string_ids(_as_item(a), pool)
+    sb = it.to_string_ids(_as_item(b), pool)
+    return (
+        [pool.value(int(x)) for x in sa],
+        [pool.value(int(x)) for x in sb],
+    )
+
+
+def _fn_contains(ctx, a, b):
+    xs, ys = _str_pairs(ctx, a, b)
+    return ItemColumn.from_bools([y in x for x, y in zip(xs, ys)])
+
+
+def _fn_starts_with(ctx, a, b):
+    xs, ys = _str_pairs(ctx, a, b)
+    return ItemColumn.from_bools([x.startswith(y) for x, y in zip(xs, ys)])
+
+
+def _fn_string_length(ctx, a):
+    pool = ctx.pool
+    sa = it.to_string_ids(_as_item(a), pool)
+    return ItemColumn.from_ints([len(pool.value(int(x))) for x in sa])
+
+
+def _fn_concat(ctx, a, b):
+    xs, ys = _str_pairs(ctx, a, b)
+    pool = ctx.pool
+    return ItemColumn.from_pooled(
+        K_STR, [pool.intern(x + y) for x, y in zip(xs, ys)]
+    )
+
+
+def _fn_ends_with(ctx, a, b):
+    xs, ys = _str_pairs(ctx, a, b)
+    return ItemColumn.from_bools([x.endswith(y) for x, y in zip(xs, ys)])
+
+
+def _fn_substring_before(ctx, a, b):
+    xs, ys = _str_pairs(ctx, a, b)
+    pool = ctx.pool
+    return ItemColumn.from_pooled(
+        K_STR,
+        [pool.intern(x.partition(y)[0] if y and y in x else "") for x, y in zip(xs, ys)],
+    )
+
+
+def _fn_substring_after(ctx, a, b):
+    xs, ys = _str_pairs(ctx, a, b)
+    pool = ctx.pool
+    return ItemColumn.from_pooled(
+        K_STR,
+        [pool.intern(x.partition(y)[2] if y and y in x else "") for x, y in zip(xs, ys)],
+    )
+
+
+def _decode_strings(ctx, a):
+    pool = ctx.pool
+    sa = it.to_string_ids(_as_item(a), pool)
+    return [pool.value(int(x)) for x in sa]
+
+
+def _str_map_fn(transform):
+    def fn(ctx, a):
+        pool = ctx.pool
+        return ItemColumn.from_pooled(
+            K_STR, [pool.intern(transform(s)) for s in _decode_strings(ctx, a)]
+        )
+
+    return fn
+
+
+def _fn_substring(ctx, a, start, length=None):
+    """XPath substring: 1-based start, rounding per the F&O spec."""
+    xs = _decode_strings(ctx, a)
+    starts = it.to_double(_as_item(start), ctx.pool)
+    lengths = None if length is None else it.to_double(_as_item(length), ctx.pool)
+    pool = ctx.pool
+    out = []
+    for i, s in enumerate(xs):
+        b = it.xpath_round(float(starts[i]))
+        if lengths is None:
+            e = len(s) + 1
+        else:
+            e = b + it.xpath_round(float(lengths[i]))
+        lo = max(b, 1)
+        out.append(pool.intern(s[lo - 1 : max(e - 1, lo - 1)]))
+    return ItemColumn.from_pooled(K_STR, out)
+
+
+def _round_fn(kind):
+    def fn(ctx, a):
+        item = _as_item(a)
+        if item.is_homogeneous(it.K_INT):
+            data = np.abs(item.data) if kind == "abs" else item.data
+            return ItemColumn.from_ints(data)
+        v = it.to_double(item, ctx.pool)
+        if kind == "floor":
+            r = np.floor(v)
+        elif kind == "ceiling":
+            r = np.ceil(v)
+        elif kind == "round":
+            r = np.floor(v + 0.5)  # XPath rounds .5 up
+        else:  # abs
+            r = np.abs(v)
+        return ItemColumn.from_doubles(r)
+
+    return fn
+
+
+def _fn_elem_name_is(ctx, a, b):
+    """Is item a an element named like (string column/const) b?"""
+    a = _as_item(a)
+    pool = ctx.pool
+    sb = it.to_string_ids(_as_item(b), pool)
+    arena = ctx.arena
+    out = np.zeros(len(a), dtype=bool)
+    m = a.kinds == K_NODE
+    if m.any():
+        rows = a.data[m]
+        from repro.encoding.arena import NK_ELEM
+
+        out_m = (arena.kind[rows] == NK_ELEM) & (arena.name[rows] == sb[m])
+        out[m] = out_m
+    return ItemColumn.from_bools(out)
+
+
+def _deep_equal_nodes(arena, x: int, y: int) -> bool:
+    """Structural equality of two subtrees (fn:deep-equal node case)."""
+    if arena.kind[x] != arena.kind[y]:
+        return False
+    from repro.encoding.arena import NK_COMMENT, NK_ELEM, NK_PI, NK_TEXT
+
+    kind = int(arena.kind[x])
+    if kind in (NK_TEXT, NK_COMMENT):
+        return arena.value[x] == arena.value[y]
+    if kind == NK_PI:
+        return arena.name[x] == arena.name[y] and arena.value[x] == arena.value[y]
+    if kind == NK_ELEM and arena.name[x] != arena.name[y]:
+        return False
+    # attributes: same name/value multiset
+    ox, lx, hx = arena.attr_ranges(np.asarray([x], dtype=np.int64))
+    oy, ly, hy = arena.attr_ranges(np.asarray([y], dtype=np.int64))
+    ax = sorted(
+        (int(arena.attr_name[j]), int(arena.attr_value[j]))
+        for j in ox[int(lx[0]) : int(hx[0])]
+    )
+    ay = sorted(
+        (int(arena.attr_name[j]), int(arena.attr_value[j]))
+        for j in oy[int(ly[0]) : int(hy[0])]
+    )
+    if ax != ay:
+        return False
+    # children pairwise (comments/PIs included for simplicity)
+    ox, lx, hx = arena.children_ranges(np.asarray([x], dtype=np.int64))
+    oy, ly, hy = arena.children_ranges(np.asarray([y], dtype=np.int64))
+    cx = sorted(int(r) for r in ox[int(lx[0]) : int(hx[0])])
+    cy = sorted(int(r) for r in oy[int(ly[0]) : int(hy[0])])
+    if len(cx) != len(cy):
+        return False
+    return all(_deep_equal_nodes(arena, i, j) for i, j in zip(cx, cy))
+
+
+def _fn_deep_equal(ctx, a, b):
+    a, b = _as_item(a), _as_item(b)
+    arena, pool = ctx.arena, ctx.pool
+    out = np.zeros(len(a), dtype=bool)
+    for i in range(len(a)):
+        ka, kb = int(a.kinds[i]), int(b.kinds[i])
+        va, vb = int(a.data[i]), int(b.data[i])
+        node_a = ka in (K_NODE, K_ATTR)
+        node_b = kb in (K_NODE, K_ATTR)
+        if node_a != node_b:
+            out[i] = False
+        elif ka == K_NODE and kb == K_NODE:
+            out[i] = _deep_equal_nodes(arena, va, vb)
+        elif ka == K_ATTR and kb == K_ATTR:
+            out[i] = (
+                arena.attr_name[va] == arena.attr_name[vb]
+                and arena.attr_value[va] == arena.attr_value[vb]
+            )
+        else:
+            out[i] = bool(
+                it.compare("eq", a.take([i]), b.take([i]), pool)[0]
+            )
+    return ItemColumn.from_bools(out)
+
+
+def _fn_node_name(ctx, a):
+    a = _as_item(a)
+    arena, pool = ctx.arena, ctx.pool
+    out = np.empty(len(a), dtype=np.int64)
+    empty = pool.intern("")
+    for i in range(len(a)):
+        kind, payload = int(a.kinds[i]), int(a.data[i])
+        if kind == K_NODE:
+            nid = int(arena.name[payload])
+            out[i] = nid if nid >= 0 else empty
+        elif kind == K_ATTR:
+            out[i] = int(arena.attr_name[payload])
+        else:
+            out[i] = empty
+    return ItemColumn.from_pooled(K_STR, out)
+
+
+_MAP_FNS: dict[str, Callable] = {
+    "add": _fn_arith("add"),
+    "sub": _fn_arith("sub"),
+    "mul": _fn_arith("mul"),
+    "div": _fn_arith("div"),
+    "idiv": _fn_arith("idiv"),
+    "mod": _fn_arith("mod"),
+    "neg": _fn_neg,
+    "eq": _fn_cmp("eq"),
+    "ne": _fn_cmp("ne"),
+    "lt": _fn_cmp("lt"),
+    "le": _fn_cmp("le"),
+    "gt": _fn_cmp("gt"),
+    "ge": _fn_cmp("ge"),
+    "and": _fn_and,
+    "or": _fn_or,
+    "not": _fn_not,
+    "ebv": _fn_ebv,
+    "is_node": _fn_is_node,
+    "kind_code": _fn_kind_code,
+    "is_numeric": _fn_is_numeric,
+    "node_kind": _fn_node_kind,
+    "root_of": _fn_root_of,
+    "cast_dbl": _fn_cast_dbl,
+    "cast_int": _fn_cast_int,
+    "cast_str": _fn_cast_str,
+    "node_eq": _fn_node_eq,
+    "node_before": _fn_node_before,
+    "node_after": _fn_node_after,
+    "contains": _fn_contains,
+    "starts_with": _fn_starts_with,
+    "ends_with": _fn_ends_with,
+    "substring_before": _fn_substring_before,
+    "substring_after": _fn_substring_after,
+    "substring2": _fn_substring,
+    "substring3": _fn_substring,
+    "string_length": _fn_string_length,
+    "concat": _fn_concat,
+    "upper_case": _str_map_fn(str.upper),
+    "lower_case": _str_map_fn(str.lower),
+    "normalize_space": _str_map_fn(lambda s: " ".join(s.split())),
+    "floor": _round_fn("floor"),
+    "ceiling": _round_fn("ceiling"),
+    "round": _round_fn("round"),
+    "abs": _round_fn("abs"),
+    "elem_name_is": _fn_elem_name_is,
+    "node_name": _fn_node_name,
+    "deep_equal": _fn_deep_equal,
+}

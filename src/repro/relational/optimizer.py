@@ -1,0 +1,589 @@
+"""Peephole plan optimization.
+
+Loop-lifted plans are large and mechanical — the paper reports ~120
+operators for XMark Q8 before optimization and cites peephole-style
+rewriting [Grust, "Purely Relational FLWORs", XIME-P 2005] as the remedy.
+The optimizer here works the same way: local rewrites applied over the
+DAG until a fixpoint, exploiting the restrictions of the assembly-style
+algebra (π never removes duplicates, ∪ is disjoint, all joins equi-joins):
+
+* **common subexpression elimination** — structurally identical subplans
+  are shared (loop-lifting emits the same ``loop`` relation many times);
+* **projection pruning** (the compiler's *icols* analysis) — only columns
+  an ancestor actually consumes are kept; dead ``Map``/``RowNum``/
+  ``Atomize`` targets are dropped entirely;
+* **projection merging** — π ∘ π collapses, identity π disappears;
+* **literal folding** — σ/π over literal tables evaluate at compile time,
+  unions of literals concatenate;
+* **empty propagation** — operators over provably empty inputs collapse
+  to empty literal tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AlgebraError
+from repro.relational import algebra as alg
+
+
+# --------------------------------------------------------------------------
+# static schema inference
+# --------------------------------------------------------------------------
+def schema_of(op: alg.Op, memo: dict[int, tuple[str, ...]] | None = None) -> tuple[str, ...]:
+    """Infer the output schema of a plan node (column names)."""
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(op))
+    if cached is not None:
+        return cached
+    result = _schema(op, memo)
+    memo[id(op)] = result
+    return result
+
+
+def _schema(op: alg.Op, memo) -> tuple[str, ...]:
+    if isinstance(op, alg.Lit):
+        return op.schema
+    if isinstance(op, alg.Project):
+        return tuple(new for new, _ in op.cols)
+    if isinstance(op, (alg.Select,)):
+        return schema_of(op.child, memo)
+    if isinstance(op, alg.Union):
+        return schema_of(op.inputs[0], memo)
+    if isinstance(op, (alg.Difference, alg.SemiJoin)):
+        return schema_of(op.left, memo)
+    if isinstance(op, alg.Distinct):
+        return schema_of(op.child, memo)
+    if isinstance(op, (alg.Join, alg.Cross)):
+        return schema_of(op.left, memo) + schema_of(op.right, memo)
+    if isinstance(op, (alg.RowNum, alg.Map)):
+        base = schema_of(op.child, memo)
+        return base if op.target in base else base + (op.target,)
+    if isinstance(op, alg.Atomize):
+        base = schema_of(op.child, memo)
+        return base if op.target in base else base + (op.target,)
+    if isinstance(op, alg.Aggr):
+        return (op.group, op.target) if op.group else (op.target,)
+    if isinstance(op, alg.StepJoin):
+        return (op.iter_col, op.item_col)
+    if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr)):
+        return ("iter", "item")
+    if isinstance(op, (alg.DocRoot, alg.GenRange)):
+        return ("iter", "pos", "item")
+    raise AlgebraError(f"cannot infer schema of {type(op).__name__}")
+
+
+def _item_cols_of(op: alg.Op, memo: dict[int, frozenset]) -> frozenset:
+    """Which output columns are polymorphic item columns (best effort)."""
+    cached = memo.get(id(op))
+    if cached is not None:
+        return cached
+    result = _item_cols(op, memo)
+    memo[id(op)] = result
+    return result
+
+
+def _item_cols(op: alg.Op, memo) -> frozenset:
+    if isinstance(op, alg.Lit):
+        return op.item_cols
+    if isinstance(op, alg.Project):
+        child = _item_cols_of(op.child, memo)
+        return frozenset(new for new, old in op.cols if old in child)
+    if isinstance(op, (alg.Select, alg.Distinct)):
+        return _item_cols_of(op.child, memo)
+    if isinstance(op, alg.Union):
+        return _item_cols_of(op.inputs[0], memo)
+    if isinstance(op, (alg.Difference, alg.SemiJoin)):
+        return _item_cols_of(op.left, memo)
+    if isinstance(op, (alg.Join, alg.Cross)):
+        return _item_cols_of(op.left, memo) | _item_cols_of(op.right, memo)
+    if isinstance(op, alg.RowNum):
+        return _item_cols_of(op.child, memo)
+    if isinstance(op, alg.Map):
+        base = _item_cols_of(op.child, memo)
+        if op.fn == "kind_code":
+            return base - {op.target}
+        return base | {op.target}
+    if isinstance(op, alg.Atomize):
+        return _item_cols_of(op.child, memo) | {op.target}
+    if isinstance(op, alg.Aggr):
+        if op.kind == "count":
+            return frozenset()
+        return frozenset({op.target})
+    if isinstance(op, alg.StepJoin):
+        return frozenset({op.item_col})
+    if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr)):
+        return frozenset({"item"})
+    if isinstance(op, (alg.DocRoot, alg.GenRange)):
+        return frozenset({"item"})
+    return frozenset()
+
+
+# --------------------------------------------------------------------------
+# optimizer driver
+# --------------------------------------------------------------------------
+@dataclass
+class OptimizerStats:
+    """Before/after operator counts (benchmark E6 reports these)."""
+
+    ops_before: int = 0
+    ops_after: int = 0
+    passes: int = 0
+
+    @property
+    def reduction_pct(self) -> float:
+        if self.ops_before == 0:
+            return 0.0
+        return 100.0 * (self.ops_before - self.ops_after) / self.ops_before
+
+
+def optimize(root: alg.Op, stats: OptimizerStats | None = None) -> alg.Op:
+    """Apply all rewrite passes to a fixpoint (bounded) and return the
+    rewritten plan."""
+    if stats is not None:
+        stats.ops_before = alg.op_count(root)
+    for i in range(8):
+        before = alg.op_count(root)
+        root = _cse(root)
+        root = _fold(root)
+        root = _prune(root)
+        root = _merge_projects(root)
+        root = _cse(root)
+        after = alg.op_count(root)
+        if stats is not None:
+            stats.passes = i + 1
+        if after == before:
+            break
+    if stats is not None:
+        stats.ops_after = alg.op_count(root)
+    return root
+
+
+# --------------------------------------------------------------------------
+# pass: common subexpression elimination (hash consing)
+# --------------------------------------------------------------------------
+def _cse(root: alg.Op) -> alg.Op:
+    canon: dict[tuple, alg.Op] = {}
+    rebuilt: dict[int, alg.Op] = {}
+    for node in alg.walk(root):
+        child_ids = tuple(id(rebuilt[id(c)]) for c in node.children)
+        new_children = tuple(rebuilt[id(c)] for c in node.children)
+        candidate = _with_children(node, new_children)
+        key = candidate.struct_key(child_ids)
+        existing = canon.get(key)
+        if existing is None:
+            canon[key] = candidate
+            rebuilt[id(node)] = candidate
+        else:
+            rebuilt[id(node)] = existing
+    return rebuilt[id(root)]
+
+
+def _with_children(node: alg.Op, children: tuple[alg.Op, ...]) -> alg.Op:
+    """Clone ``node`` with new children (no-op when nothing changed)."""
+    if tuple(node.children) == children:
+        return node
+    if isinstance(node, alg.Project):
+        return alg.Project(children[0], node.cols)
+    if isinstance(node, alg.Select):
+        return alg.Select(children[0], node.op, node.lhs, node.rhs)
+    if isinstance(node, alg.Union):
+        return alg.Union(children)
+    if isinstance(node, alg.Difference):
+        return alg.Difference(children[0], children[1], node.keys)
+    if isinstance(node, alg.Distinct):
+        return alg.Distinct(children[0], node.keys, node.order_col)
+    if isinstance(node, alg.Join):
+        return alg.Join(children[0], children[1], node.keys)
+    if isinstance(node, alg.SemiJoin):
+        return alg.SemiJoin(children[0], children[1], node.keys)
+    if isinstance(node, alg.Cross):
+        return alg.Cross(children[0], children[1])
+    if isinstance(node, alg.RowNum):
+        return alg.RowNum(children[0], node.target, node.order, node.group)
+    if isinstance(node, alg.Map):
+        return alg.Map(children[0], node.fn, node.target, node.args)
+    if isinstance(node, alg.Aggr):
+        return alg.Aggr(
+            children[0], node.kind, node.target, node.arg, node.group,
+            node.sep, node.order_col,
+        )
+    if isinstance(node, alg.StepJoin):
+        return alg.StepJoin(children[0], node.axis, node.test, node.iter_col, node.item_col)
+    if isinstance(node, alg.Atomize):
+        return alg.Atomize(children[0], node.target, node.arg)
+    if isinstance(node, alg.ElemConstr):
+        return alg.ElemConstr(children[0], children[1])
+    if isinstance(node, alg.TextConstr):
+        return alg.TextConstr(children[0])
+    if isinstance(node, alg.AttrConstr):
+        return alg.AttrConstr(children[0], children[1])
+    if isinstance(node, alg.GenRange):
+        return alg.GenRange(children[0], node.lo_col, node.hi_col)
+    if isinstance(node, (alg.Lit, alg.DocRoot)):
+        return node
+    raise AlgebraError(f"cannot clone {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------
+# pass: literal folding and empty propagation
+# --------------------------------------------------------------------------
+def _is_empty_lit(op: alg.Op) -> bool:
+    return isinstance(op, alg.Lit) and not op.rows
+
+
+def _empty_like(op: alg.Op) -> alg.Lit:
+    memo: dict[int, tuple[str, ...]] = {}
+    imemo: dict[int, frozenset] = {}
+    return alg.Lit(schema_of(op, memo), (), _item_cols_of(op, imemo))
+
+
+def _fold(root: alg.Op) -> alg.Op:
+    rebuilt: dict[int, alg.Op] = {}
+    for node in alg.walk(root):
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        rebuilt[id(node)] = _fold_one(_with_children(node, children))
+    return rebuilt[id(root)]
+
+
+def _fold_one(node: alg.Op) -> alg.Op:
+    # constructors have side effects; never fold them away
+    if isinstance(node, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr)):
+        return node
+    if isinstance(node, alg.Select):
+        child = node.child
+        if _is_empty_lit(child):
+            return child
+        if isinstance(child, alg.Lit) and _foldable_pred(node, child):
+            return _fold_select_lit(node, child)
+    if isinstance(node, alg.Project):
+        child = node.child
+        if isinstance(child, alg.Lit):
+            idx = {name: i for i, name in enumerate(child.schema)}
+            if all(old in idx for _, old in node.cols):
+                rows = tuple(
+                    tuple(row[idx[old]] for _, old in node.cols) for row in child.rows
+                )
+                new_items = frozenset(
+                    new for new, old in node.cols if old in child.item_cols
+                )
+                return alg.Lit(tuple(n for n, _ in node.cols), rows, new_items)
+    if isinstance(node, alg.Union):
+        inputs = [i for i in node.inputs if not _is_empty_lit(i)]
+        if not inputs:
+            return node.inputs[0]
+        if len(inputs) == 1:
+            return inputs[0]
+        if len(inputs) != len(node.inputs):
+            return alg.Union(tuple(inputs))
+        if all(isinstance(i, alg.Lit) for i in inputs):
+            first = inputs[0]
+            if all(i.schema == first.schema and i.item_cols == first.item_cols for i in inputs):
+                rows = tuple(r for i in inputs for r in i.rows)
+                return alg.Lit(first.schema, rows, first.item_cols)
+    if isinstance(node, (alg.Map, alg.RowNum, alg.Distinct, alg.Atomize)):
+        if _is_empty_lit(node.child):
+            return _empty_like(node)
+    if isinstance(node, alg.StepJoin):
+        if _is_empty_lit(node.child):
+            return alg.Lit(
+                (node.iter_col, node.item_col), (), frozenset({node.item_col})
+            )
+    if isinstance(node, (alg.Join, alg.Cross)):
+        if _is_empty_lit(node.left) or _is_empty_lit(node.right):
+            return _empty_like(node)
+    if isinstance(node, alg.SemiJoin):
+        if _is_empty_lit(node.left) or _is_empty_lit(node.right):
+            return _empty_like(node)
+    if isinstance(node, alg.Difference):
+        if _is_empty_lit(node.left):
+            return node.left
+        if _is_empty_lit(node.right):
+            return node.left
+    return node
+
+
+def _foldable_pred(node: alg.Select, child: alg.Lit) -> bool:
+    for tag, v in (node.lhs, node.rhs):
+        if tag == "col" and v in child.item_cols:
+            return False  # item comparisons need the pool; leave to runtime
+        if tag == "const" and not isinstance(v, (int, bool)):
+            return False
+    return True
+
+
+def _fold_select_lit(node: alg.Select, child: alg.Lit) -> alg.Lit:
+    idx = {name: i for i, name in enumerate(child.schema)}
+    import operator
+
+    ops = {
+        "eq": operator.eq,
+        "ne": operator.ne,
+        "lt": operator.lt,
+        "le": operator.le,
+        "gt": operator.gt,
+        "ge": operator.ge,
+    }
+    fn = ops[node.op]
+
+    def val(row, operand):
+        tag, v = operand
+        return row[idx[v]] if tag == "col" else v
+
+    rows = tuple(
+        row for row in child.rows if fn(val(row, node.lhs), val(row, node.rhs))
+    )
+    return alg.Lit(child.schema, rows, child.item_cols)
+
+
+# --------------------------------------------------------------------------
+# pass: projection pruning (icols)
+# --------------------------------------------------------------------------
+def _prune(root: alg.Op) -> alg.Op:
+    """Required-column (icols) pruning in two passes.
+
+    Pass 1 walks parents-before-children accumulating, per node, the union
+    of the columns its parents need.  Pass 2 rebuilds each node exactly
+    once against its accumulated requirement — shared subplans stay shared
+    (pruning per parent would duplicate them).
+    """
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    required = frozenset(schema_of(root, schema_memo))
+    # pass 1: accumulate requirements top-down in reverse topological order
+    topo = list(alg.walk(root))  # children before parents
+    req: dict[int, frozenset] = {id(root): required}
+    for node in reversed(topo):
+        node_req = req.get(id(node), frozenset())
+        node_req &= frozenset(schema_of(node, schema_memo))
+        req[id(node)] = node_req
+        for child, child_req in _child_requirements(node, node_req, schema_memo):
+            req[id(child)] = req.get(id(child), frozenset()) | child_req
+    # pass 2: rebuild bottom-up
+    rebuilt: dict[int, alg.Op] = {}
+    for node in topo:
+        rebuilt[id(node)] = _prune_rewrite(node, req[id(node)], rebuilt, schema_memo)
+    # the root must deliver exactly its original schema
+    return _restrict(rebuilt[id(root)], required, schema_memo)
+
+
+def _child_requirements(op, required, schema_memo):
+    """Which columns each child must deliver for ``op`` to produce
+    ``required`` (mirrors the construction rules of ``_prune_rewrite``)."""
+    if isinstance(op, alg.Lit):
+        return []
+    if isinstance(op, alg.Project):
+        cols = [(new, old) for new, old in op.cols if new in required] or list(op.cols[:1])
+        return [(op.child, frozenset(old for _, old in cols))]
+    if isinstance(op, alg.Select):
+        return [(op.child, required | _operand_cols(op.lhs, op.rhs))]
+    if isinstance(op, alg.Union):
+        return [(i, required) for i in op.inputs]
+    if isinstance(op, alg.Difference):
+        keys = frozenset(op.keys)
+        return [(op.left, required | keys), (op.right, keys)]
+    if isinstance(op, alg.Distinct):
+        extra = frozenset([op.order_col]) if op.order_col else frozenset()
+        return [(op.child, required | frozenset(op.keys) | extra)]
+    if isinstance(op, (alg.Join, alg.SemiJoin)):
+        lkeys = frozenset(l for l, _ in op.keys)
+        rkeys = frozenset(r for _, r in op.keys)
+        lschema = frozenset(schema_of(op.left, schema_memo))
+        out = [(op.left, (required & lschema) | lkeys)]
+        if isinstance(op, alg.SemiJoin):
+            out.append((op.right, rkeys))
+        else:
+            rschema = frozenset(schema_of(op.right, schema_memo))
+            out.append((op.right, (required & rschema) | rkeys))
+        return out
+    if isinstance(op, alg.Cross):
+        lschema = frozenset(schema_of(op.left, schema_memo))
+        rschema = frozenset(schema_of(op.right, schema_memo))
+        lreq = (required & lschema) or frozenset(list(lschema)[:1])
+        rreq = (required & rschema) or frozenset(list(rschema)[:1])
+        return [(op.left, lreq), (op.right, rreq)]
+    if isinstance(op, alg.RowNum):
+        if op.target not in required:
+            return [(op.child, required)]
+        child_req = (required - {op.target}) | frozenset(c for c, _ in op.order)
+        if op.group:
+            child_req |= {op.group}
+        return [(op.child, child_req)]
+    if isinstance(op, alg.Map):
+        if op.target not in required:
+            return [(op.child, required)]
+        return [(op.child, (required - {op.target}) | _operand_cols(*op.args))]
+    if isinstance(op, alg.Atomize):
+        if op.target not in required:
+            return [(op.child, required)]
+        return [(op.child, (required - {op.target}) | {op.arg})]
+    if isinstance(op, alg.Aggr):
+        child_req = frozenset(filter(None, (op.arg, op.group, op.order_col)))
+        if not child_req:
+            child_req = frozenset(schema_of(op.child, schema_memo)[:1])
+        return [(op.child, child_req)]
+    if isinstance(op, alg.StepJoin):
+        return [(op.child, frozenset({op.iter_col, op.item_col}))]
+    if isinstance(op, alg.GenRange):
+        return [(op.child, frozenset({"iter", op.lo_col, op.hi_col}))]
+    # constructors / DocRoot: children keep their full schemas
+    return [
+        (c, frozenset(schema_of(c, schema_memo))) for c in op.children
+    ]
+
+
+def _restrict(op: alg.Op, required: frozenset, schema_memo) -> alg.Op:
+    """Wrap ``op`` in a projection keeping only ``required`` columns."""
+    schema = schema_of(op, schema_memo)
+    keep = tuple(c for c in schema if c in required)
+    if keep == schema:
+        return op
+    return alg.Project(op, tuple((c, c) for c in keep))
+
+
+def _operand_cols(*operands) -> frozenset:
+    return frozenset(v for tag, v in operands if tag == "col")
+
+
+def _prune_rewrite(op, required, rebuilt, schema_memo):
+    # children were already pruned against their accumulated requirements
+    rec = lambda child, req: rebuilt[id(child)]
+
+    if isinstance(op, alg.Lit):
+        keep = tuple(c for c in op.schema if c in required) or op.schema[:1]
+        if keep == op.schema:
+            return op
+        idx = {name: i for i, name in enumerate(op.schema)}
+        rows = tuple(tuple(row[idx[c]] for c in keep) for row in op.rows)
+        return alg.Lit(keep, rows, op.item_cols & frozenset(keep))
+
+    if isinstance(op, alg.Project):
+        cols = tuple((new, old) for new, old in op.cols if new in required)
+        if not cols:
+            cols = op.cols[:1]
+        child_req = frozenset(old for _, old in cols)
+        child = rec(op.child, child_req)
+        return alg.Project(child, cols)
+
+    # NB: downstream of here, operators are allowed to deliver *more*
+    # columns than required — extra columns are cut at the next enclosing
+    # projection.  Only Union branches and Difference/SemiJoin right sides
+    # need exact schemas, and they get explicit restrictions.
+    if isinstance(op, alg.Select):
+        child_req = required | _operand_cols(op.lhs, op.rhs)
+        child = rec(op.child, child_req)
+        return alg.Select(child, op.op, op.lhs, op.rhs)
+
+    if isinstance(op, alg.Union):
+        inputs = tuple(
+            _restrict(rec(i, required), required, schema_memo) for i in op.inputs
+        )
+        return alg.Union(inputs)
+
+    if isinstance(op, alg.Difference):
+        keys = frozenset(op.keys)
+        left = rec(op.left, required | keys)
+        right = _restrict(rec(op.right, keys), keys, schema_memo)
+        return alg.Difference(left, right, op.keys)
+
+    if isinstance(op, alg.Distinct):
+        keys = frozenset(op.keys)
+        extra = frozenset([op.order_col]) if op.order_col else frozenset()
+        child = rec(op.child, required | keys | extra)
+        return alg.Distinct(child, op.keys, op.order_col)
+
+    if isinstance(op, (alg.Join, alg.SemiJoin)):
+        lkeys = frozenset(l for l, _ in op.keys)
+        rkeys = frozenset(r for _, r in op.keys)
+        lschema = frozenset(schema_of(op.left, schema_memo))
+        left = rec(op.left, (required & lschema) | lkeys)
+        if isinstance(op, alg.SemiJoin):
+            right = _restrict(rec(op.right, rkeys), rkeys, schema_memo)
+            return alg.SemiJoin(left, right, op.keys)
+        rschema = frozenset(schema_of(op.right, schema_memo))
+        right = rec(op.right, (required & rschema) | rkeys)
+        return alg.Join(left, right, op.keys)
+
+    if isinstance(op, alg.Cross):
+        lschema = frozenset(schema_of(op.left, schema_memo))
+        rschema = frozenset(schema_of(op.right, schema_memo))
+        lreq = required & lschema
+        rreq = required & rschema
+        left = rec(op.left, lreq or frozenset(list(lschema)[:1]))
+        right = rec(op.right, rreq or frozenset(list(rschema)[:1]))
+        return alg.Cross(left, right)
+
+    if isinstance(op, alg.RowNum):
+        if op.target not in required:
+            return rec(op.child, required)
+        child_req = (required - {op.target}) | frozenset(c for c, _ in op.order)
+        if op.group:
+            child_req |= {op.group}
+        child = rec(op.child, child_req)
+        return alg.RowNum(child, op.target, op.order, op.group)
+
+    if isinstance(op, alg.Map):
+        if op.target not in required:
+            return rec(op.child, required)
+        child_req = (required - {op.target}) | _operand_cols(*op.args)
+        child = rec(op.child, child_req)
+        return alg.Map(child, op.fn, op.target, op.args)
+
+    if isinstance(op, alg.Atomize):
+        if op.target not in required:
+            return rec(op.child, required)
+        child_req = (required - {op.target}) | {op.arg}
+        child = rec(op.child, child_req)
+        return alg.Atomize(child, op.target, op.arg)
+
+    if isinstance(op, alg.Aggr):
+        child_req = frozenset(filter(None, (op.arg, op.group, op.order_col)))
+        child = rec(op.child, child_req or frozenset(schema_of(op.child, schema_memo)[:1]))
+        return alg.Aggr(
+            child, op.kind, op.target, op.arg, op.group, op.sep, op.order_col
+        )
+
+    if isinstance(op, alg.StepJoin):
+        child = rec(op.child, frozenset({op.iter_col, op.item_col}))
+        child = _restrict(child, frozenset({op.iter_col, op.item_col}), schema_memo)
+        return alg.StepJoin(child, op.axis, op.test, op.iter_col, op.item_col)
+
+    if isinstance(op, alg.GenRange):
+        need = frozenset({"iter", op.lo_col, op.hi_col})
+        child = rec(op.child, need)
+        return alg.GenRange(child, op.lo_col, op.hi_col)
+
+    if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr, alg.DocRoot)):
+        # children have fixed small schemas; just recurse with them
+        children = tuple(
+            rec(c, frozenset(schema_of(c, schema_memo))) for c in op.children
+        )
+        return _with_children(op, children)
+
+    raise AlgebraError(f"prune: unhandled op {type(op).__name__}")
+
+
+# --------------------------------------------------------------------------
+# pass: projection merging / identity removal
+# --------------------------------------------------------------------------
+def _merge_projects(root: alg.Op) -> alg.Op:
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    rebuilt: dict[int, alg.Op] = {}
+    for node in alg.walk(root):
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        new = _with_children(node, children)
+        if isinstance(new, alg.Project):
+            child = new.child
+            if isinstance(child, alg.Project):
+                inner = dict((n, o) for n, o in child.cols)
+                new = alg.Project(
+                    child.child, tuple((n, inner[o]) for n, o in new.cols)
+                )
+                child = new.child
+            child_schema = schema_of(child, schema_memo)
+            if tuple(n for n, _ in new.cols) == child_schema and all(
+                n == o for n, o in new.cols
+            ):
+                new = child
+        rebuilt[id(node)] = new
+    return rebuilt[id(root)]

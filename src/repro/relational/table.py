@@ -1,0 +1,147 @@
+"""In-memory column-store tables.
+
+A :class:`Table` is an ordered mapping from column names to columns.  A
+column is either a plain ``int64`` numpy array (used for ``iter``, ``pos``
+and the various bookkeeping columns the loop-lifting compiler introduces)
+or an :class:`~repro.relational.items.ItemColumn` for polymorphic XQuery
+items.  Tables are immutable by convention: operators build new tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.errors import AlgebraError
+from repro.relational.items import ItemColumn
+
+Column = Union[np.ndarray, ItemColumn]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def as_num(column: Column) -> np.ndarray:
+    """View a column as a plain int64 array (payload for item columns)."""
+    if isinstance(column, ItemColumn):
+        return column.data
+    return column
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Mapping[str, Column]):
+        self.columns: dict[str, Column] = dict(columns)
+        n = None
+        for name, col in self.columns.items():
+            ln = len(col)
+            if n is None:
+                n = ln
+            elif ln != n:
+                raise AlgebraError(f"column {name!r} has length {ln}, expected {n}")
+
+    # --------------------------------------------------------------- build
+    @classmethod
+    def empty(cls, names: Iterable[str]) -> "Table":
+        return cls({name: _EMPTY for name in names})
+
+    # ----------------------------------------------------------- structure
+    @property
+    def num_rows(self) -> int:
+        for col in self.columns.values():
+            return len(col)
+        return 0
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return tuple(self.columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def col(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise AlgebraError(
+                f"unknown column {name!r}; have {sorted(self.columns)}"
+            ) from None
+
+    def num(self, name: str) -> np.ndarray:
+        """The column as a plain numeric array (item payload if an item)."""
+        return as_num(self.col(name))
+
+    def item(self, name: str) -> ItemColumn:
+        """The column as an :class:`ItemColumn` (must be one)."""
+        col = self.col(name)
+        if not isinstance(col, ItemColumn):
+            raise AlgebraError(f"column {name!r} is numeric, expected items")
+        return col
+
+    def take(self, idx) -> "Table":
+        """Row selection / reordering by index array or boolean mask."""
+        out = {}
+        for name, col in self.columns.items():
+            if isinstance(col, ItemColumn):
+                out[name] = col.take(idx)
+            else:
+                out[name] = col[idx]
+        return Table(out)
+
+    def with_column(self, name: str, col: Column) -> "Table":
+        out = dict(self.columns)
+        out[name] = col
+        return Table(out)
+
+    def project(self, mapping: Sequence[tuple[str, str]]) -> "Table":
+        """π: keep/rename/duplicate columns; ``mapping`` is (new, old)."""
+        out = {}
+        for new, old in mapping:
+            if new in out:
+                raise AlgebraError(f"duplicate output column {new!r} in projection")
+            out[new] = self.col(old)
+        return Table(out)
+
+    @staticmethod
+    def concat(tables: Sequence["Table"]) -> "Table":
+        """Disjoint union: concatenate tables with identical schemas."""
+        tables = [t for t in tables]
+        if not tables:
+            raise AlgebraError("union of zero tables")
+        schema = tables[0].schema
+        for t in tables[1:]:
+            if set(t.schema) != set(schema):
+                raise AlgebraError(
+                    f"union schema mismatch: {schema} vs {t.schema}"
+                )
+        out: dict[str, Column] = {}
+        for name in schema:
+            cols = [t.col(name) for t in tables]
+            if any(isinstance(c, ItemColumn) for c in cols):
+                cols = [
+                    c
+                    if isinstance(c, ItemColumn)
+                    else ItemColumn.from_ints(c)
+                    for c in cols
+                ]
+                out[name] = ItemColumn.concat(cols)
+            else:
+                out[name] = np.concatenate(cols) if cols else _EMPTY
+        return Table(out)
+
+    def to_rows(self, pool) -> list[tuple]:
+        """Decode to Python row tuples (tests / debugging)."""
+        decoded = []
+        for name in self.schema:
+            col = self.columns[name]
+            if isinstance(col, ItemColumn):
+                decoded.append(col.to_values(pool))
+            else:
+                decoded.append([int(v) for v in col])
+        return list(zip(*decoded)) if decoded else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({', '.join(self.schema)}; {self.num_rows} rows)"

@@ -1,0 +1,19 @@
+"""An alternative relational back-end: XQuery on a SQL host.
+
+The paper closes its engine overview with "the use of alternative
+back-ends (e.g., SQL) is current work in progress", pointing at the
+lineage paper [6], *XQuery on SQL Hosts* (VLDB 2004).  This subpackage
+realises that: the same loop-lifted algebra plans are translated into a
+single SQL query — one common table expression per operator, MonetDB's
+``mark`` rendered as ``ROW_NUMBER() OVER``, the staircase join rendered
+as the plain region self-joins an off-the-shelf RDBMS would run — and
+executed on SQLite.
+
+Restrictions: node *construction* has no SQL equivalent (it mutates the
+arena), so plans containing constructor operators are rejected; queries
+that only select, join, aggregate and atomize run entirely inside SQL.
+"""
+
+from repro.sqlhost.backend import SQLHostBackend
+
+__all__ = ["SQLHostBackend"]

@@ -1,0 +1,179 @@
+"""Relational schema export: the node arena as SQL tables.
+
+The encoding mirrors the arena (``pre|size|level`` plus properties), with
+two SQL-host-specific choices:
+
+* property surrogates are decoded to TEXT on export — a SQL query cannot
+  intern new strings into the Python pool, so strings travel as values;
+* each node row carries its precomputed ``strval`` (the node's XPath
+  string-value), which makes atomization a plain column reference —
+  playing the role of an RDBMS materialised index.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+import numpy as np
+
+from repro.encoding.arena import NodeArena
+from repro.relational.items import xpath_round
+
+DDL = """
+CREATE TABLE nodes (
+    id      INTEGER PRIMARY KEY,
+    kind    INTEGER NOT NULL,
+    size    INTEGER NOT NULL,
+    level   INTEGER NOT NULL,
+    frag    INTEGER NOT NULL,
+    parent  INTEGER NOT NULL,
+    name    TEXT,
+    value   TEXT,
+    strval  TEXT,
+    fragend INTEGER NOT NULL
+);
+CREATE TABLE attrs (
+    id     INTEGER PRIMARY KEY,
+    owner  INTEGER NOT NULL,
+    name   TEXT NOT NULL,
+    value  TEXT NOT NULL
+);
+CREATE INDEX idx_nodes_parent ON nodes(parent);
+CREATE INDEX idx_nodes_name   ON nodes(name);
+CREATE INDEX idx_attrs_owner  ON attrs(owner);
+"""
+
+
+def _register_functions(con: sqlite3.Connection) -> None:
+    """XQuery cast semantics as SQL scalar functions."""
+
+    def xq_double(text):
+        if text is None:
+            return None
+        try:
+            t = str(text).strip()
+            if not t:
+                return None
+            if t == "INF":
+                return math.inf
+            if t == "-INF":
+                return -math.inf
+            return float(t)
+        except (ValueError, TypeError):
+            return None  # NaN is represented as NULL inside the SQL host
+
+    def xq_fmt_double(value):
+        if value is None:
+            return "NaN"
+        from repro.relational.items import format_double
+
+        return format_double(float(value))
+
+    def xq_mod(x, y):
+        if x is None or y is None or y == 0:
+            return None
+        return float(np.fmod(x, y))
+
+    def xq_substring2(s, start):
+        if s is None or start is None:
+            return ""
+        b = xpath_round(float(start))
+        lo = max(b, 1)
+        return s[lo - 1 :]
+
+    def xq_substring3(s, start, length):
+        if s is None or start is None or length is None:
+            return ""
+        b = xpath_round(float(start))
+        e = b + xpath_round(float(length))
+        lo = max(b, 1)
+        return s[lo - 1 : max(e - 1, lo - 1)]
+
+    def xq_substring_before(s, sub):
+        if not sub or sub not in (s or ""):
+            return ""
+        return s.partition(sub)[0]
+
+    def xq_substring_after(s, sub):
+        if not sub or sub not in (s or ""):
+            return ""
+        return s.partition(sub)[2]
+
+    def xq_normalize_space(s):
+        return " ".join((s or "").split())
+
+    con.create_function("xq_double", 1, xq_double, deterministic=True)
+    con.create_function("xq_fmt_double", 1, xq_fmt_double, deterministic=True)
+    con.create_function("xq_mod", 2, xq_mod, deterministic=True)
+    con.create_function("xq_substring2", 2, xq_substring2, deterministic=True)
+    con.create_function("xq_substring3", 3, xq_substring3, deterministic=True)
+    con.create_function(
+        "xq_substring_before", 2, xq_substring_before, deterministic=True
+    )
+    con.create_function(
+        "xq_substring_after", 2, xq_substring_after, deterministic=True
+    )
+    con.create_function(
+        "xq_normalize_space", 1, xq_normalize_space, deterministic=True
+    )
+    con.create_function(
+        "xq_floor", 1, lambda v: None if v is None else float(math.floor(v)),
+        deterministic=True,
+    )
+    con.create_function(
+        "xq_ceiling", 1, lambda v: None if v is None else float(math.ceil(v)),
+        deterministic=True,
+    )
+    con.create_function(
+        "xq_round", 1, lambda v: None if v is None else float(math.floor(v + 0.5)),
+        deterministic=True,
+    )
+    con.create_function(
+        "xq_abs", 1, lambda v: None if v is None else abs(float(v)),
+        deterministic=True,
+    )
+
+
+def export_arena(arena: NodeArena) -> sqlite3.Connection:
+    """Create an in-memory SQLite database holding the whole arena."""
+    con = sqlite3.connect(":memory:")
+    con.executescript(DDL)
+    _register_functions(con)
+    pool = arena.pool
+    n = arena.num_nodes
+    if n:
+        strvals = arena.string_value_ids(np.arange(n, dtype=np.int64))
+        fragends = arena.frag_end(np.arange(n, dtype=np.int64))
+        rows = []
+        for i in range(n):
+            name_id = int(arena.name[i])
+            value_id = int(arena.value[i])
+            rows.append(
+                (
+                    i,
+                    int(arena.kind[i]),
+                    int(arena.size[i]),
+                    int(arena.level[i]),
+                    int(arena.frag[i]),
+                    int(arena.parent[i]),
+                    pool.value(name_id) if name_id >= 0 else None,
+                    pool.value(value_id) if value_id >= 0 else None,
+                    pool.value(int(strvals[i])),
+                    int(fragends[i]),
+                )
+            )
+        con.executemany("INSERT INTO nodes VALUES (?,?,?,?,?,?,?,?,?,?)", rows)
+    if arena.num_attrs:
+        arows = [
+            (
+                j,
+                int(arena.attr_owner[j]),
+                pool.value(int(arena.attr_name[j])),
+                pool.value(int(arena.attr_value[j])),
+            )
+            for j in range(arena.num_attrs)
+        ]
+        con.executemany("INSERT INTO attrs VALUES (?,?,?,?)", arows)
+    con.commit()
+    return con

@@ -1,0 +1,17 @@
+"""The XMark benchmark workload [Schmidt et al., VLDB 2002].
+
+``xmlgen``-style scaled auction-site document generation plus the 20
+benchmark queries, expressed in the supported dialect.  Scale factor 1.0
+corresponds to the paper's ~110 MB instance; the Python reproduction runs
+at factors around 0.0005–0.02.
+"""
+
+from repro.xmark.xmlgen import generate_document, document_stats
+from repro.xmark.queries import XMARK_QUERIES, xmark_query
+
+__all__ = [
+    "generate_document",
+    "document_stats",
+    "XMARK_QUERIES",
+    "xmark_query",
+]

@@ -1,0 +1,42 @@
+"""Generate an XMark document from the shell.
+
+Usage::
+
+    python -m repro.xmark 0.01 > auction.xml
+    python -m repro.xmark 0.01 --seed 7 --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.xmark import document_stats, generate_document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.xmark",
+        description="XMark auction-document generator (xmlgen stand-in)",
+    )
+    parser.add_argument("scale", type=float, help="scale factor (1.0 ≈ 110 MB)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--stats", action="store_true", help="print entity counts to stderr"
+    )
+    args = parser.parse_args(argv)
+    if args.stats:
+        counts = document_stats(args.scale)
+        print(
+            f"items={counts.items} people={counts.people} "
+            f"open_auctions={counts.open_auctions} "
+            f"closed_auctions={counts.closed_auctions} "
+            f"categories={counts.categories}",
+            file=sys.stderr,
+        )
+    sys.stdout.write(generate_document(args.scale, seed=args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

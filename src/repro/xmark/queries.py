@@ -1,0 +1,169 @@
+"""The 20 XMark benchmark queries (Q1–Q20).
+
+The texts follow the published benchmark, adapted in two small ways: the
+probe constants reference entities that exist at every scale factor
+(``person0``/``person1``/``person2`` instead of the original's
+scale-specific ids), and Q10 constructs a trimmed-but-join-identical
+record (the original copies ~10 fields; the join/grouping structure —
+what the benchmark measures — is unchanged).
+"""
+
+from __future__ import annotations
+
+XMARK_QUERIES: dict[str, str] = {
+    # Q1: exact-match attribute lookup
+    "Q1": """
+        for $b in /site/people/person[@id = "person0"]
+        return $b/name/text()
+    """,
+    # Q2: order-based access (first bidder of every open auction)
+    "Q2": """
+        for $b in /site/open_auctions/open_auction
+        return <increase>{ $b/bidder[1]/increase/text() }</increase>
+    """,
+    # Q3: order-based access with comparison of first and last bid
+    "Q3": """
+        for $b in /site/open_auctions/open_auction
+        where zero-or-one($b/bidder[1]/increase/text()) * 2
+              <= $b/bidder[last()]/increase/text()
+        return <increase first="{$b/bidder[1]/increase/text()}"
+                         last="{$b/bidder[last()]/increase/text()}"/>
+    """,
+    # Q4: document-order comparison inside a quantifier
+    "Q4": """
+        for $b in /site/open_auctions/open_auction
+        where some $pr1 in $b/bidder/personref[@person = "person1"],
+                   $pr2 in $b/bidder/personref[@person = "person2"]
+              satisfies $pr1 << $pr2
+        return <history>{ $b/reserve/text() }</history>
+    """,
+    # Q5: value-based selection with aggregation
+    "Q5": """
+        count(for $i in /site/closed_auctions/closed_auction
+              where $i/price/text() >= 40
+              return $i/price)
+    """,
+    # Q6: recursive axis (//) under each region
+    "Q6": """
+        for $b in /site/regions return count($b//item)
+    """,
+    # Q7: recursive axes over the whole document
+    "Q7": """
+        for $p in /site
+        return count($p//description) + count($p//annotation) + count($p//emailaddress)
+    """,
+    # Q8: equi-join people ⋈ closed auctions (buyer)
+    "Q8": """
+        for $p in /site/people/person
+        let $a := for $t in /site/closed_auctions/closed_auction
+                  where $t/buyer/@person = $p/@id
+                  return $t
+        return <item person="{$p/name/text()}">{ count($a) }</item>
+    """,
+    # Q9: three-way join people ⋈ closed auctions ⋈ european items
+    "Q9": """
+        for $p in /site/people/person
+        let $a := for $t in /site/closed_auctions/closed_auction
+                  let $n := for $t2 in /site/regions/europe/item
+                            where $t/itemref/@item = $t2/@id
+                            return $t2
+                  where $p/@id = $t/buyer/@person
+                  return <item>{ $n/name/text() }</item>
+        return <person name="{$p/name/text()}">{ $a }</person>
+    """,
+    # Q10: grouping by interest category (construction heavy)
+    "Q10": """
+        for $i in distinct-values(/site/people/person/profile/interest/@category)
+        let $p := for $t in /site/people/person
+                  where $t/profile/interest/@category = $i
+                  return <personne>
+                           <statistiques>
+                             <sexe>{ $t/profile/gender/text() }</sexe>
+                             <age>{ $t/profile/age/text() }</age>
+                             <education>{ $t/profile/education/text() }</education>
+                             <revenu>{ $t/profile/@income }</revenu>
+                           </statistiques>
+                           <coordonnees>
+                             <nom>{ $t/name/text() }</nom>
+                             <courrier>{ $t/emailaddress/text() }</courrier>
+                           </coordonnees>
+                         </personne>
+        return <categorie>{ <id>{ $i }</id>, $p }</categorie>
+    """,
+    # Q11: value-based theta-join (quadratic output — the Figure 4 outlier)
+    "Q11": """
+        for $p in /site/people/person
+        let $l := for $i in /site/open_auctions/open_auction/initial
+                  where $p/profile/@income > 5000 * $i/text()
+                  return $i
+        return <items name="{$p/name/text()}">{ count($l) }</items>
+    """,
+    # Q12: Q11 restricted to wealthy people
+    "Q12": """
+        for $p in /site/people/person
+        let $l := for $i in /site/open_auctions/open_auction/initial
+                  where $p/profile/@income > 5000 * $i/text()
+                  return $i
+        where $p/profile/@income > 50000
+        return <items person="{$p/name/text()}">{ count($l) }</items>
+    """,
+    # Q13: reconstruction of a region's items
+    "Q13": """
+        for $i in /site/regions/australia/item
+        return <item name="{$i/name/text()}">{ $i/description }</item>
+    """,
+    # Q14: full-text-ish selection (substring search)
+    "Q14": """
+        for $i in /site//item
+        where contains(string(exactly-one($i/description)), "gold")
+        return $i/name/text()
+    """,
+    # Q15: a very long, selective path
+    "Q15": """
+        for $a in /site/closed_auctions/closed_auction/annotation/description/
+                  parlist/listitem/parlist/listitem/text/emph/keyword/text()
+        return <text>{ $a }</text>
+    """,
+    # Q16: Q15's path as an existence test
+    "Q16": """
+        for $a in /site/closed_auctions/closed_auction
+        where not(empty($a/annotation/description/parlist/listitem/parlist/
+                  listitem/text/emph/keyword/text()))
+        return <person id="{$a/seller/@person}"/>
+    """,
+    # Q17: missing elements (people without a homepage)
+    "Q17": """
+        for $p in /site/people/person
+        where empty($p/homepage/text())
+        return <check name="{$p/name/text()}"/>
+    """,
+    # Q18: user-defined function application
+    "Q18": """
+        declare function local:convert($v) { 2.20371 * $v };
+        for $i in /site/open_auctions/open_auction
+        return local:convert(zero-or-one($i/reserve/text()))
+    """,
+    # Q19: full sort via order by
+    "Q19": """
+        for $b in /site/regions//item
+        let $k := $b/name/text()
+        order by zero-or-one($b/location/text()) ascending
+        return <item name="{$k}">{ $b/location/text() }</item>
+    """,
+    # Q20: aggregation with partitioning predicates
+    "Q20": """
+        <result>
+          <preferred>{ count(/site/people/person/profile[@income >= 100000]) }</preferred>
+          <standard>{ count(/site/people/person/profile[@income < 100000 and @income >= 30000]) }</standard>
+          <challenge>{ count(/site/people/person/profile[@income < 30000]) }</challenge>
+          <na>{ count(for $p in /site/people/person
+                      where empty($p/profile/@income)
+                      return $p) }</na>
+        </result>
+    """,
+}
+
+
+def xmark_query(number: int) -> str:
+    """The text of XMark query ``number`` (1–20)."""
+    return XMARK_QUERIES[f"Q{number}"]

@@ -1,0 +1,26 @@
+"""Word material for the XMark text generator.
+
+The original ``xmlgen`` drew its prose from Shakespeare; a compact word
+list preserves what matters for the benchmark: a realistic mix of short
+words, enough distinct values for selective string predicates, and the
+word ``gold`` that query Q14 greps for.
+"""
+
+WORDS = (
+    "the quick brown fox jumps over lazy dog summer winter river mountain "
+    "trade market auction price value silver gold copper iron stone glass "
+    "paper letter ancient modern quiet loud bright dark little great first "
+    "last early late north south east west harbor vessel journey road "
+    "bridge tower castle garden forest meadow stream valley shadow light "
+    "morning evening night day season harvest grain fruit flower branch "
+    "root leaf crown sword shield banner county kingdom empire village "
+    "city street corner window door chamber hall court judge merchant "
+    "sailor soldier farmer weaver baker smith miller hunter keeper warden "
+    "youth elder child mother father brother sister friend stranger guest "
+    "honest clever brave gentle proud humble weary eager swift slow strong "
+    "weak rich poor noble common rare plain fine coarse smooth rough deep "
+    "shallow high low near far wide narrow long short"
+).split()
+
+#: words usable as sentence openers for mild variety
+OPENERS = ("a", "the", "some", "every", "no", "this", "that")

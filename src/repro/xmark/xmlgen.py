@@ -1,0 +1,313 @@
+"""A scaled XMark document generator (the ``xmlgen`` stand-in).
+
+Generates the auction-site documents of Schmidt et al.'s XMark benchmark:
+six world regions with items, categories and a category graph, people
+with optional profiles (incomes, interests), open auctions with bidder
+histories and closed auctions with prices.  All structural features the
+20 benchmark queries rely on are present, including the recursive
+``description/parlist/listitem`` nesting that Q15/Q16 navigate and the
+``gold``-bearing text Q14 greps.
+
+Counts follow the original generator's proportions: at scale factor 1.0,
+21750 items, 25500 people, 12000 open and 9750 closed auctions.  The
+output is deterministic for a given (scale, seed) pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmark.words import WORDS
+
+_REGIONS = (
+    ("africa", 0.025),
+    ("asia", 0.075),
+    ("australia", 0.10),
+    ("europe", 0.30),
+    ("namerica", 0.45),
+    ("samerica", 0.05),
+)
+
+_COUNTRIES = (
+    "United States", "Germany", "France", "Japan", "Australia",
+    "Netherlands", "Brazil", "Kenya", "China", "Spain",
+)
+
+
+@dataclass(frozen=True)
+class XMarkCounts:
+    """How many of each entity a document contains."""
+
+    items: int
+    people: int
+    open_auctions: int
+    closed_auctions: int
+    categories: int
+
+
+def scaled_counts(scale: float) -> XMarkCounts:
+    """Entity counts for a scale factor (same proportions as xmlgen)."""
+    return XMarkCounts(
+        items=max(12, int(21750 * scale)),
+        people=max(15, int(25500 * scale)),
+        open_auctions=max(8, int(12000 * scale)),
+        closed_auctions=max(6, int(9750 * scale)),
+        categories=max(3, int(1000 * scale)),
+    )
+
+
+class _Gen:
+    def __init__(self, scale: float, seed: int):
+        self.rng = random.Random(seed)
+        self.counts = scaled_counts(scale)
+        self.out: list[str] = []
+
+    # ------------------------------------------------------------- text
+    def words(self, n: int) -> str:
+        rng = self.rng
+        return " ".join(rng.choice(WORDS) for _ in range(n))
+
+    def text_elem(self, rich: bool = True) -> str:
+        """A ``<text>`` block with occasional keyword/bold/emph markup."""
+        rng = self.rng
+        parts = [self.words(rng.randint(3, 10))]
+        if rich and rng.random() < 0.6:
+            tag = rng.choice(("keyword", "bold", "emph"))
+            parts.append(f" <{tag}>{self.words(rng.randint(1, 3))}</{tag}> ")
+            parts.append(self.words(rng.randint(2, 6)))
+        return f"<text>{''.join(parts)}</text>"
+
+    def parlist(self, depth: int, force_deep: bool = False) -> str:
+        """A ``<parlist>`` of listitems; recursive with bounded depth."""
+        rng = self.rng
+        items = []
+        n = rng.randint(1, 3)
+        for i in range(n):
+            nest = depth > 0 and (force_deep and i == 0 or rng.random() < 0.35)
+            if nest:
+                inner = self.parlist(depth - 1, force_deep=force_deep)
+                items.append(f"<listitem>{inner}</listitem>")
+            else:
+                if force_deep and depth == 0 and i == 0:
+                    body = (
+                        f"<text>{self.words(2)} <emph><keyword>"
+                        f"{self.words(1)}</keyword></emph> {self.words(2)}</text>"
+                    )
+                else:
+                    body = self.text_elem()
+                items.append(f"<listitem>{body}</listitem>")
+        return f"<parlist>{''.join(items)}</parlist>"
+
+    def description(self, force_deep: bool = False) -> str:
+        if force_deep or self.rng.random() < 0.45:
+            return f"<description>{self.parlist(1, force_deep)}</description>"
+        return f"<description>{self.text_elem()}</description>"
+
+    # ------------------------------------------------------------ pieces
+    def item(self, item_id: int, region: str) -> str:
+        rng = self.rng
+        location = (
+            "Australia" if region == "australia" else rng.choice(_COUNTRIES)
+        )
+        incats = "".join(
+            f'<incategory category="category{rng.randrange(self.counts.categories)}"/>'
+            for _ in range(rng.randint(1, 3))
+        )
+        mailbox = ""
+        if rng.random() < 0.35:
+            mails = "".join(
+                f"<mail><from>{self.words(2)}</from><to>{self.words(2)}</to>"
+                f"<date>{self.date()}</date>{self.text_elem()}</mail>"
+                for _ in range(rng.randint(1, 2))
+            )
+            mailbox = f"<mailbox>{mails}</mailbox>"
+        return (
+            f'<item id="item{item_id}">'
+            f"<location>{location}</location>"
+            f"<quantity>{rng.randint(1, 5)}</quantity>"
+            f"<name>{self.words(2)}</name>"
+            f"<payment>Creditcard</payment>"
+            f"{self.description()}"
+            f"<shipping>Will ship internationally</shipping>"
+            f"{incats}{mailbox}"
+            f"</item>"
+        )
+
+    def date(self) -> str:
+        rng = self.rng
+        return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2001)}"
+
+    def person(self, pid: int) -> str:
+        rng = self.rng
+        name = f"{self.words(1).capitalize()} {self.words(1).capitalize()}"
+        email = f"mailto:person{pid}@example.com"
+        parts = [
+            f'<person id="person{pid}">',
+            f"<name>{name}</name>",
+            f"<emailaddress>{email}</emailaddress>",
+        ]
+        if rng.random() < 0.4:
+            parts.append(f"<phone>+1 ({rng.randint(100,999)}) {rng.randint(1000000,9999999)}</phone>")
+        if rng.random() < 0.5:
+            parts.append(
+                f"<address><street>{rng.randint(1,99)} {self.words(1).capitalize()} St</street>"
+                f"<city>{self.words(1).capitalize()}</city>"
+                f"<country>{rng.choice(_COUNTRIES)}</country>"
+                f"<zipcode>{rng.randint(10000,99999)}</zipcode></address>"
+            )
+        if rng.random() < 0.5:
+            parts.append(f"<homepage>http://example.com/~person{pid}</homepage>")
+        if rng.random() < 0.6:
+            parts.append(f"<creditcard>{rng.randint(1000,9999)} {rng.randint(1000,9999)} {rng.randint(1000,9999)} {rng.randint(1000,9999)}</creditcard>")
+        if rng.random() < 0.75:
+            interests = "".join(
+                f'<interest category="category{rng.randrange(self.counts.categories)}"/>'
+                for _ in range(rng.randint(0, 4))
+            )
+            income = ""
+            if rng.random() < 0.7:
+                income = f' income="{rng.randint(9500, 250000)}.{rng.randint(0,99):02d}"'
+            education = (
+                f"<education>{rng.choice(('High School', 'College', 'Graduate School', 'Other'))}</education>"
+                if rng.random() < 0.5
+                else ""
+            )
+            gender = (
+                f"<gender>{rng.choice(('male', 'female'))}</gender>"
+                if rng.random() < 0.5
+                else ""
+            )
+            parts.append(
+                f"<profile{income}>{interests}{education}{gender}"
+                f"<business>{rng.choice(('Yes', 'No'))}</business>"
+                f"<age>{rng.randint(18, 80)}</age></profile>"
+            )
+        if rng.random() < 0.3:
+            watches = "".join(
+                f'<watch open_auction="open_auction{rng.randrange(self.counts.open_auctions)}"/>'
+                for _ in range(rng.randint(1, 3))
+            )
+            parts.append(f"<watches>{watches}</watches>")
+        parts.append("</person>")
+        return "".join(parts)
+
+    def annotation(self, force_deep: bool = False) -> str:
+        rng = self.rng
+        return (
+            f'<annotation><author person="person{rng.randrange(self.counts.people)}"/>'
+            f"{self.description(force_deep)}"
+            f"<happiness>{rng.randint(1, 10)}</happiness></annotation>"
+        )
+
+    def open_auction(self, aid: int) -> str:
+        rng = self.rng
+        initial = rng.randint(5, 300) + rng.random()
+        bidders = []
+        current = initial
+        for _ in range(rng.randint(1, 6)):
+            increase = round(rng.choice((1.5, 3.0, 4.5, 6.0, 7.5, 9.0, 12.0, 15.0)) * rng.randint(1, 3), 2)
+            current += increase
+            bidders.append(
+                f"<bidder><date>{self.date()}</date>"
+                f'<personref person="person{rng.randrange(self.counts.people)}"/>'
+                f"<increase>{increase:.2f}</increase></bidder>"
+            )
+        reserve = (
+            f"<reserve>{initial * rng.uniform(1.1, 2.5):.2f}</reserve>"
+            if rng.random() < 0.45
+            else ""
+        )
+        return (
+            f'<open_auction id="open_auction{aid}">'
+            f"<initial>{initial:.2f}</initial>{reserve}"
+            f"{''.join(bidders)}"
+            f"<current>{current:.2f}</current>"
+            f'<itemref item="item{rng.randrange(self.counts.items)}"/>'
+            f'<seller person="person{rng.randrange(self.counts.people)}"/>'
+            f"{self.annotation()}"
+            f"<quantity>{rng.randint(1, 5)}</quantity>"
+            f"<type>{rng.choice(('Regular', 'Featured'))}</type>"
+            f"<interval><start>{self.date()}</start><end>{self.date()}</end></interval>"
+            f"</open_auction>"
+        )
+
+    def closed_auction(self, aid: int) -> str:
+        rng = self.rng
+        # every fourth closed auction carries the full deep annotation
+        # chain Q15/Q16 navigate
+        force_deep = aid % 4 == 0
+        return (
+            "<closed_auction>"
+            f'<seller person="person{rng.randrange(self.counts.people)}"/>'
+            f'<buyer person="person{rng.randrange(self.counts.people)}"/>'
+            f'<itemref item="item{rng.randrange(self.counts.items)}"/>'
+            f"<price>{rng.randint(5, 400)}.{rng.randint(0,99):02d}</price>"
+            f"<date>{self.date()}</date>"
+            f"<quantity>{rng.randint(1, 5)}</quantity>"
+            f"<type>{rng.choice(('Regular', 'Featured'))}</type>"
+            f"{self.annotation(force_deep)}"
+            "</closed_auction>"
+        )
+
+    def category(self, cid: int) -> str:
+        return (
+            f'<category id="category{cid}">'
+            f"<name>{self.words(2)}</name>{self.description()}</category>"
+        )
+
+    # -------------------------------------------------------------- whole
+    def generate(self) -> str:
+        rng = self.rng
+        counts = self.counts
+        out = self.out
+        out.append("<site>")
+        # regions with items distributed by the xmlgen proportions
+        out.append("<regions>")
+        assigned = 0
+        for idx, (region, share) in enumerate(_REGIONS):
+            if idx == len(_REGIONS) - 1:
+                n = counts.items - assigned
+            else:
+                n = max(1, int(counts.items * share))
+            out.append(f"<{region}>")
+            for i in range(assigned, assigned + n):
+                out.append(self.item(i, region))
+            out.append(f"</{region}>")
+            assigned += n
+        out.append("</regions>")
+        out.append("<categories>")
+        for cid in range(counts.categories):
+            out.append(self.category(cid))
+        out.append("</categories>")
+        out.append("<catgraph>")
+        for _ in range(counts.categories):
+            out.append(
+                f'<edge from="category{rng.randrange(counts.categories)}" '
+                f'to="category{rng.randrange(counts.categories)}"/>'
+            )
+        out.append("</catgraph>")
+        out.append("<people>")
+        for pid in range(counts.people):
+            out.append(self.person(pid))
+        out.append("</people>")
+        out.append("<open_auctions>")
+        for aid in range(counts.open_auctions):
+            out.append(self.open_auction(aid))
+        out.append("</open_auctions>")
+        out.append("<closed_auctions>")
+        for aid in range(counts.closed_auctions):
+            out.append(self.closed_auction(aid))
+        out.append("</closed_auctions>")
+        out.append("</site>")
+        return "".join(out)
+
+
+def generate_document(scale: float, seed: int = 42) -> str:
+    """Generate one XMark document at the given scale factor."""
+    return _Gen(scale, seed).generate()
+
+
+def document_stats(scale: float) -> XMarkCounts:
+    """Entity counts that :func:`generate_document` will produce."""
+    return scaled_counts(scale)

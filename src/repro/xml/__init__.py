@@ -1,0 +1,21 @@
+"""A small, self-contained XML layer: parser, escaping and serializer.
+
+Pathfinder only needs well-formed document parsing (elements, attributes,
+character data, CDATA, comments, processing instructions, the five builtin
+entities and numeric character references) — no DTDs, no namespaces-aware
+processing.  The parser produces a lightweight tree that the shredder
+(:mod:`repro.encoding.shred`) turns into the relational encoding.
+"""
+
+from repro.xml.parser import parse_document, XMLElement, XMLText, XMLComment, XMLPi
+from repro.xml.serializer import serialize_node, serialize_tree
+
+__all__ = [
+    "parse_document",
+    "XMLElement",
+    "XMLText",
+    "XMLComment",
+    "XMLPi",
+    "serialize_node",
+    "serialize_tree",
+]

@@ -1,0 +1,56 @@
+"""Character escaping and entity resolution for the XML layer."""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+
+_BUILTIN_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+def resolve_entities(raw: str, line: int = 0, column: int = 0) -> str:
+    """Replace entity and character references in character data."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise XMLSyntaxError("unterminated entity reference", line, column)
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _BUILTIN_ENTITIES:
+            out.append(_BUILTIN_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(f"unknown entity &{name};", line, column)
+        i = end + 1
+    return "".join(out)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for serialization."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(text: str) -> str:
+    """Escape an attribute value for serialization (double-quoted)."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+    )

@@ -1,0 +1,260 @@
+"""A from-scratch, non-validating XML parser.
+
+Produces a lightweight in-memory tree of :class:`XMLElement`,
+:class:`XMLText`, :class:`XMLComment` and :class:`XMLPi` nodes.  Supports
+everything XMark documents (and reasonable hand-written test documents)
+contain: the XML declaration, elements with attributes, character data,
+CDATA sections, comments, processing instructions, builtin entities and
+numeric character references.  Not supported (raises): DTD internal
+subsets beyond skipping the declaration, and general entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import XMLSyntaxError
+from repro.xml.escape import resolve_entities
+
+
+@dataclass
+class XMLText:
+    """A run of character data."""
+
+    text: str
+
+
+@dataclass
+class XMLComment:
+    """An XML comment (without the delimiters)."""
+
+    text: str
+
+
+@dataclass
+class XMLPi:
+    """A processing instruction: ``<?target data?>``."""
+
+    target: str
+    data: str
+
+
+@dataclass
+class XMLElement:
+    """An element: name, attribute list (document order) and children."""
+
+    name: str
+    attributes: list[tuple[str, str]] = field(default_factory=list)
+    children: list["XMLNode"] = field(default_factory=list)
+
+
+XMLNode = Union[XMLElement, XMLText, XMLComment, XMLPi]
+
+_NAME_START = set("_:") | set(chr(c) for c in range(ord("a"), ord("z") + 1)) | set(
+    chr(c) for c in range(ord("A"), ord("Z") + 1)
+)
+_NAME_CHARS = _NAME_START | set("-.") | set("0123456789")
+
+
+class _Cursor:
+    """Input cursor with line/column tracking for error messages."""
+
+    __slots__ = ("text", "pos", "_nl_scan")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self._nl_scan = 0
+
+    def line_col(self) -> tuple[int, int]:
+        upto = self.text[: self.pos]
+        line = upto.count("\n") + 1
+        col = self.pos - (upto.rfind("\n") + 1) + 1
+        return line, col
+
+    def error(self, message: str) -> XMLSyntaxError:
+        line, col = self.line_col()
+        return XMLSyntaxError(message, line, col)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def startswith(self, s: str) -> bool:
+        return self.text.startswith(s, self.pos)
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def skip_ws(self) -> None:
+        text, n = self.text, len(self.text)
+        p = self.pos
+        while p < n and text[p] in " \t\r\n":
+            p += 1
+        self.pos = p
+
+    def read_until(self, delim: str, what: str) -> str:
+        end = self.text.find(delim, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        out = self.text[self.pos : end]
+        self.pos = end + len(delim)
+        return out
+
+    def read_name(self) -> str:
+        text = self.text
+        start = self.pos
+        if start >= len(text) or text[start] not in _NAME_START:
+            raise self.error("expected a name")
+        p = start + 1
+        n = len(text)
+        while p < n and text[p] in _NAME_CHARS:
+            p += 1
+        self.pos = p
+        return text[start:p]
+
+    def expect(self, s: str) -> None:
+        if not self.startswith(s):
+            raise self.error(f"expected {s!r}")
+        self.advance(len(s))
+
+
+def parse_document(text: str) -> XMLElement:
+    """Parse a complete XML document, returning the root element.
+
+    Leading/trailing misc (XML declaration, comments, PIs, whitespace) is
+    accepted and discarded; exactly one root element is required.
+    """
+    cur = _Cursor(text)
+    _skip_prolog(cur)
+    if cur.eof() or cur.peek() != "<":
+        raise cur.error("expected the root element")
+    root = _parse_element(cur)
+    # trailing misc
+    while not cur.eof():
+        cur.skip_ws()
+        if cur.eof():
+            break
+        if cur.startswith("<!--"):
+            cur.advance(4)
+            cur.read_until("-->", "comment")
+        elif cur.startswith("<?"):
+            cur.advance(2)
+            cur.read_until("?>", "processing instruction")
+        else:
+            raise cur.error("content after the root element")
+    return root
+
+
+def _skip_prolog(cur: _Cursor) -> None:
+    while True:
+        cur.skip_ws()
+        if cur.startswith("<?xml"):
+            cur.advance(5)
+            cur.read_until("?>", "XML declaration")
+        elif cur.startswith("<!--"):
+            cur.advance(4)
+            cur.read_until("-->", "comment")
+        elif cur.startswith("<!DOCTYPE"):
+            cur.advance(9)
+            depth = 1
+            while depth and not cur.eof():
+                ch = cur.peek()
+                if ch == "<":
+                    depth += 1
+                elif ch == ">":
+                    depth -= 1
+                elif ch == "[":
+                    cur.read_until("]", "DTD internal subset")
+                    continue
+                cur.advance()
+            if depth:
+                raise cur.error("unterminated DOCTYPE")
+        elif cur.startswith("<?"):
+            cur.advance(2)
+            cur.read_until("?>", "processing instruction")
+        else:
+            return
+
+
+def _parse_element(cur: _Cursor) -> XMLElement:
+    cur.expect("<")
+    name = cur.read_name()
+    elem = XMLElement(name)
+    # attributes
+    while True:
+        cur.skip_ws()
+        if cur.startswith("/>"):
+            cur.advance(2)
+            return elem
+        if cur.startswith(">"):
+            cur.advance(1)
+            break
+        attr_name = cur.read_name()
+        cur.skip_ws()
+        cur.expect("=")
+        cur.skip_ws()
+        quote = cur.peek()
+        if quote not in ("'", '"'):
+            raise cur.error("attribute value must be quoted")
+        cur.advance(1)
+        line, col = cur.line_col()
+        raw = cur.read_until(quote, "attribute value")
+        elem.attributes.append((attr_name, resolve_entities(raw, line, col)))
+    # content
+    _parse_content(cur, elem)
+    # end tag
+    end_name = cur.read_name()
+    if end_name != name:
+        raise cur.error(f"mismatched end tag </{end_name}> for <{name}>")
+    cur.skip_ws()
+    cur.expect(">")
+    return elem
+
+
+def _parse_content(cur: _Cursor, elem: XMLElement) -> None:
+    text_parts: list[str] = []
+
+    def flush_text() -> None:
+        if text_parts:
+            merged = "".join(text_parts)
+            text_parts.clear()
+            if merged:
+                elem.children.append(XMLText(merged))
+
+    while True:
+        if cur.eof():
+            raise cur.error(f"unterminated element <{elem.name}>")
+        ch = cur.peek()
+        if ch == "<":
+            if cur.startswith("</"):
+                flush_text()
+                cur.advance(2)
+                return
+            if cur.startswith("<!--"):
+                flush_text()
+                cur.advance(4)
+                elem.children.append(XMLComment(cur.read_until("-->", "comment")))
+            elif cur.startswith("<![CDATA["):
+                cur.advance(9)
+                text_parts.append(cur.read_until("]]>", "CDATA section"))
+            elif cur.startswith("<?"):
+                flush_text()
+                cur.advance(2)
+                body = cur.read_until("?>", "processing instruction")
+                target, _, data = body.partition(" ")
+                elem.children.append(XMLPi(target, data.strip()))
+            else:
+                flush_text()
+                elem.children.append(_parse_element(cur))
+        else:
+            line, col = cur.line_col()
+            end = cur.text.find("<", cur.pos)
+            if end < 0:
+                raise cur.error(f"unterminated element <{elem.name}>")
+            raw = cur.text[cur.pos : end]
+            cur.pos = end
+            text_parts.append(resolve_entities(raw, line, col))

@@ -1,0 +1,102 @@
+"""Serialization: arena nodes (or parsed trees) back to XML text.
+
+This is the post-processor of the paper's Section 2 ("a simple
+post-processor then serializes the relational result to form a response in
+terms of the XQuery data model") — the node-to-markup half; the sequence
+half lives in :mod:`repro.compiler.serialize`.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.arena import NK_COMMENT, NK_DOC, NK_ELEM, NK_PI, NK_TEXT, NodeArena
+from repro.xml.escape import escape_attr, escape_text
+from repro.xml.parser import XMLComment, XMLElement, XMLPi, XMLText
+
+
+def serialize_node(arena: NodeArena, node: int) -> str:
+    """Serialise the subtree rooted at arena row ``node`` to XML text."""
+    out: list[str] = []
+    _serialize_into(arena, node, out)
+    return "".join(out)
+
+
+def serialize_attribute(arena: NodeArena, attr_id: int) -> str:
+    """Serialise a standalone attribute as ``name="value"``."""
+    name = arena.pool.value(int(arena.attr_name[attr_id]))
+    value = arena.pool.value(int(arena.attr_value[attr_id]))
+    return f'{name}="{escape_attr(value)}"'
+
+
+def _serialize_into(arena: NodeArena, node: int, out: list[str]) -> None:
+    pool = arena.pool
+    kind = int(arena.kind[node])
+    if kind == NK_TEXT:
+        out.append(escape_text(pool.value(int(arena.value[node]))))
+        return
+    if kind == NK_COMMENT:
+        out.append(f"<!--{pool.value(int(arena.value[node]))}-->")
+        return
+    if kind == NK_PI:
+        target = pool.value(int(arena.name[node]))
+        data = pool.value(int(arena.value[node]))
+        out.append(f"<?{target} {data}?>" if data else f"<?{target}?>")
+        return
+    if kind == NK_DOC:
+        for child in _child_rows(arena, node):
+            _serialize_into(arena, child, out)
+        return
+    # element
+    name = pool.value(int(arena.name[node]))
+    out.append(f"<{name}")
+    order, lo, hi = arena.attr_ranges(_single(node))
+    for j in order[int(lo[0]) : int(hi[0])]:
+        aname = pool.value(int(arena.attr_name[j]))
+        avalue = pool.value(int(arena.attr_value[j]))
+        out.append(f' {aname}="{escape_attr(avalue)}"')
+    children = _child_rows(arena, node)
+    if not children:
+        out.append("/>")
+        return
+    out.append(">")
+    for child in children:
+        _serialize_into(arena, child, out)
+    out.append(f"</{name}>")
+
+
+def _single(node: int):
+    import numpy as np
+
+    return np.asarray([node], dtype=np.int64)
+
+
+def _child_rows(arena: NodeArena, node: int) -> list[int]:
+    order, lo, hi = arena.children_ranges(_single(node))
+    rows = sorted(int(r) for r in order[int(lo[0]) : int(hi[0])])
+    return rows
+
+
+def serialize_tree(node) -> str:
+    """Serialise a parsed (:mod:`repro.xml.parser`) tree back to XML text."""
+    out: list[str] = []
+    _serialize_parsed(node, out)
+    return "".join(out)
+
+
+def _serialize_parsed(node, out: list[str]) -> None:
+    if isinstance(node, XMLText):
+        out.append(escape_text(node.text))
+    elif isinstance(node, XMLComment):
+        out.append(f"<!--{node.text}-->")
+    elif isinstance(node, XMLPi):
+        out.append(f"<?{node.target} {node.data}?>" if node.data else f"<?{node.target}?>")
+    elif isinstance(node, XMLElement):
+        out.append(f"<{node.name}")
+        for name, value in node.attributes:
+            out.append(f' {name}="{escape_attr(value)}"')
+        if not node.children:
+            out.append("/>")
+            return
+        out.append(">")
+        for child in node.children:
+            _serialize_parsed(child, out)
+        out.append(f"</{node.name}>")

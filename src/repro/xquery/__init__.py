@@ -1,0 +1,11 @@
+"""The XQuery front-end: lexer, parser, AST and Core desugaring.
+
+Covers the dialect of the paper's Table 2 plus what the XMark benchmark
+queries require (quantifiers, computed/direct constructors with attribute
+value templates, positional predicates, user-defined functions, order by).
+"""
+
+from repro.xquery.parser import parse_query
+from repro.xquery import ast
+
+__all__ = ["parse_query", "ast"]

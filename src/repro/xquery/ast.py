@@ -1,0 +1,332 @@
+"""Abstract syntax for the supported XQuery dialect.
+
+Every node is a plain dataclass.  The parser produces this AST; the
+desugarer (:mod:`repro.xquery.core`) rewrites the convenience forms
+(direct constructors, abbreviated steps, quantifiers, ``//``) into a small
+core that both back-ends — the loop-lifting compiler and the nested-loop
+baseline interpreter — consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.encoding.axes import Axis, NodeTest
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Literal(Expr):
+    """An integer, decimal/double or string literal."""
+
+    value: Union[int, float, str]
+
+
+@dataclass
+class EmptySeq(Expr):
+    """The empty sequence ``()``."""
+
+
+@dataclass
+class Sequence(Expr):
+    """Comma sequence ``(e1, e2, ...)`` (already flattened)."""
+
+    items: list[Expr]
+
+
+@dataclass
+class RangeExpr(Expr):
+    """``e1 to e2`` — integer range sequence."""
+
+    lo: Expr
+    hi: Expr
+
+
+@dataclass
+class VarRef(Expr):
+    """``$name``."""
+
+    name: str
+
+
+@dataclass
+class ContextItem(Expr):
+    """``.`` — the context item (inside predicates / steps)."""
+
+
+@dataclass
+class ForClause:
+    """``for $var [at $pos] in expr`` (one binding)."""
+
+    var: str
+    expr: Expr
+    pos_var: Optional[str] = None
+
+
+@dataclass
+class LetClause:
+    """``let $var := expr``."""
+
+    var: str
+    expr: Expr
+
+
+@dataclass
+class OrderSpec:
+    """One ``order by`` key."""
+
+    expr: Expr
+    descending: bool = False
+    empty_greatest: bool = False
+
+
+@dataclass
+class FLWOR(Expr):
+    """A full FLWOR: clauses, optional where, order specs, return."""
+
+    clauses: list[Union[ForClause, LetClause]]
+    where: Optional[Expr]
+    order: list[OrderSpec]
+    ret: Expr
+    stable: bool = False
+
+
+@dataclass
+class Quantified(Expr):
+    """``some/every $v in e (, ...) satisfies cond``."""
+
+    kind: str  # "some" | "every"
+    bindings: list[tuple[str, Expr]]
+    satisfies: Expr
+
+
+@dataclass
+class IfExpr(Expr):
+    """``if (cond) then e1 else e2``."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass
+class SeqTypeTest:
+    """A (simplified) sequence type for typeswitch cases.
+
+    ``kind``: ``element``/``attribute``/``text``/``node``/``item``/
+    ``empty-sequence`` or an atomic type name like ``xs:integer``;
+    ``name``: element/attribute name restriction; ``occurrence`` one of
+    ``""``, ``"?"``, ``"*"``, ``"+"``.
+    """
+
+    kind: str
+    name: Optional[str] = None
+    occurrence: str = ""
+
+
+@dataclass
+class TypeswitchCase:
+    """``case [$var as] type return expr``."""
+
+    test: SeqTypeTest
+    var: Optional[str]
+    expr: Expr
+
+
+@dataclass
+class Typeswitch(Expr):
+    """``typeswitch (e) case ... default [$var] return e``."""
+
+    operand: Expr
+    cases: list[TypeswitchCase]
+    default_var: Optional[str]
+    default: Expr
+
+
+@dataclass
+class NodeUnion(Expr):
+    """``e1 | e2`` — node-sequence union (duplicate-free, document order)."""
+
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class NodeSetOp(Expr):
+    """``e1 except e2`` / ``e1 intersect e2`` — node-identity set ops."""
+
+    kind: str  # "except" | "intersect"
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Arith(Expr):
+    """Arithmetic: ``+ - * div idiv mod``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+
+@dataclass
+class ValueComp(Expr):
+    """Value comparison: ``eq ne lt le gt ge`` (singleton semantics)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class GeneralComp(Expr):
+    """General comparison: ``= != < <= > >=`` (existential semantics)."""
+
+    op: str  # normalised to eq/ne/lt/le/gt/ge
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class NodeComp(Expr):
+    """Node comparison: ``is`` (identity), ``<<``/``>>`` (document order)."""
+
+    op: str  # "is" | "before" | "after"
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class BoolOp(Expr):
+    """``and`` / ``or`` (EBV of both operands)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Step:
+    """One axis step with predicates."""
+
+    axis: Axis
+    test: NodeTest
+    predicates: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class PathExpr(Expr):
+    """``start/step/step...``; ``start`` is None for a leading ``/``
+    (resolved against the default document)."""
+
+    start: Optional[Expr]
+    steps: list[Union[Step, "FilterStep"]]
+    absolute: bool = False
+
+
+@dataclass
+class FilterStep:
+    """A non-axis step: primary expression with predicates (e.g. a nested
+    path continued from a function call) appearing inside a path."""
+
+    expr: Expr
+    predicates: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Filter(Expr):
+    """Predicated primary expression outside a path: ``$x[...]``."""
+
+    base: Expr
+    predicates: list[Expr]
+
+
+@dataclass
+class FunctionCall(Expr):
+    """``name(args...)`` — built-in or user-defined."""
+
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class DirectElement(Expr):
+    """Direct element constructor ``<a b="x{e}">content</a>``.
+
+    ``attributes`` values are lists of string/Expr parts (attribute value
+    templates); ``content`` items are strings (character data) or Exprs
+    (enclosed ``{...}`` or nested constructors).
+    """
+
+    name: str
+    attributes: list[tuple[str, list[Union[str, Expr]]]]
+    content: list[Union[str, Expr]]
+
+
+@dataclass
+class CompElement(Expr):
+    """Computed element constructor ``element {name} {content}``."""
+
+    name: Expr
+    content: Expr
+
+
+@dataclass
+class CompAttribute(Expr):
+    """Computed attribute constructor ``attribute {name} {value}``."""
+
+    name: Expr
+    value: Expr
+
+
+@dataclass
+class CompText(Expr):
+    """Computed text constructor ``text {expr}``."""
+
+    content: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    """``e cast as xs:type`` (the few atomic types we know)."""
+
+    operand: Expr
+    type_name: str
+
+
+@dataclass
+class InstanceOf(Expr):
+    """``e instance of SeqType`` (simplified)."""
+
+    operand: Expr
+    test: SeqTypeTest
+
+
+@dataclass
+class FunctionDecl:
+    """``declare function name($p [as type], ...) [as type] { body }``."""
+
+    name: str
+    params: list[str]
+    body: Expr
+
+
+@dataclass
+class Module:
+    """A query module: function declarations plus the main expression."""
+
+    functions: list[FunctionDecl]
+    body: Expr

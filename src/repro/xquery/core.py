@@ -1,0 +1,403 @@
+"""Desugaring to a small core dialect (the XQuery-Core step of Fig. 1).
+
+The parser accepts convenient surface syntax; both back-ends (loop-lifting
+compiler and nested-loop baseline) consume the reduced form produced here:
+
+* direct element constructors become computed constructors — character
+  data becomes ``text {...}`` children, attribute value templates become
+  computed attributes with explicit string concatenation;
+* quantifiers become ``fn:exists``/``fn:not`` over FLWORs (their classic
+  Core expansion);
+* ``fn:`` prefixes are stripped from built-in calls;
+* the paper's ``fs:distinct-doc-order`` shows up as an explicit call when
+  the user writes it; path steps imply it internally.
+
+Everything else (paths, predicates, FLWOR, comparisons) stays structural —
+the interesting work happens in the compiler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StaticError
+from repro.xquery import ast
+
+#: surface name → canonical builtin name
+_BUILTIN_ALIASES = {
+    "fn:doc": "doc",
+    "fn:root": "root",
+    "fn:data": "data",
+    "fn:string": "string",
+    "fn:count": "count",
+    "fn:sum": "sum",
+    "fn:avg": "avg",
+    "fn:max": "max",
+    "fn:min": "min",
+    "fn:empty": "empty",
+    "fn:exists": "exists",
+    "fn:not": "not",
+    "fn:boolean": "boolean",
+    "fn:true": "true",
+    "fn:false": "false",
+    "fn:position": "position",
+    "fn:last": "last",
+    "fn:contains": "contains",
+    "fn:starts-with": "starts-with",
+    "fn:ends-with": "ends-with",
+    "fn:substring": "substring",
+    "fn:substring-before": "substring-before",
+    "fn:substring-after": "substring-after",
+    "fn:upper-case": "upper-case",
+    "fn:lower-case": "lower-case",
+    "fn:normalize-space": "normalize-space",
+    "fn:floor": "floor",
+    "fn:ceiling": "ceiling",
+    "fn:round": "round",
+    "fn:abs": "abs",
+    "fn:string-length": "string-length",
+    "fn:concat": "concat",
+    "fn:string-join": "string-join",
+    "fn:number": "number",
+    "fn:distinct-values": "distinct-values",
+    "fn:reverse": "reverse",
+    "fn:subsequence": "subsequence",
+    "fn:index-of": "index-of",
+    "fn:insert-before": "insert-before",
+    "fn:remove": "remove",
+    "fn:deep-equal": "deep-equal",
+    "fn:zero-or-one": "zero-or-one",
+    "fn:exactly-one": "exactly-one",
+    "fn:one-or-more": "one-or-more",
+    "fn:name": "name",
+    "fn:local-name": "name",
+    "fs:distinct-doc-order": "fs:ddo",
+    "fn:distinct-doc-order": "fs:ddo",
+}
+
+
+def free_vars(expr: ast.Expr) -> set[str]:
+    """The free variables of an expression (used by join recognition to
+    detect loop-invariant for-clause bindings)."""
+    out: set[str] = set()
+    _free_vars(expr, set(), out)
+    return out
+
+
+def _free_vars(e, bound: set[str], out: set[str]) -> None:
+    if e is None or isinstance(e, (ast.Literal, ast.EmptySeq, ast.ContextItem)):
+        return
+    if isinstance(e, ast.VarRef):
+        if e.name not in bound:
+            out.add(e.name)
+        return
+    if isinstance(e, ast.FLWOR):
+        inner = set(bound)
+        for c in e.clauses:
+            if isinstance(c, ast.ForClause):
+                _free_vars(c.expr, inner, out)
+                inner.add(c.var)
+                if c.pos_var:
+                    inner.add(c.pos_var)
+            else:
+                _free_vars(c.expr, inner, out)
+                inner.add(c.var)
+        if e.where is not None:
+            _free_vars(e.where, inner, out)
+        for spec in e.order:
+            _free_vars(spec.expr, inner, out)
+        _free_vars(e.ret, inner, out)
+        return
+    if isinstance(e, ast.Quantified):
+        inner = set(bound)
+        for var, b in e.bindings:
+            _free_vars(b, inner, out)
+            inner.add(var)
+        _free_vars(e.satisfies, inner, out)
+        return
+    if isinstance(e, ast.Typeswitch):
+        _free_vars(e.operand, bound, out)
+        for case in e.cases:
+            inner = set(bound)
+            if case.var:
+                inner.add(case.var)
+            _free_vars(case.expr, inner, out)
+        inner = set(bound)
+        if e.default_var:
+            inner.add(e.default_var)
+        _free_vars(e.default, inner, out)
+        return
+    if isinstance(e, ast.PathExpr):
+        _free_vars(e.start, bound, out)
+        for s in e.steps:
+            if isinstance(s, ast.FilterStep):
+                _free_vars(s.expr, bound, out)
+            for p in s.predicates:
+                _free_vars(p, bound, out)
+        return
+    if isinstance(e, ast.Filter):
+        _free_vars(e.base, bound, out)
+        for p in e.predicates:
+            _free_vars(p, bound, out)
+        return
+    if isinstance(e, ast.Sequence):
+        for item in e.items:
+            _free_vars(item, bound, out)
+        return
+    if isinstance(e, ast.FunctionCall):
+        for a in e.args:
+            _free_vars(a, bound, out)
+        return
+    if isinstance(e, ast.DirectElement):
+        for _, parts in e.attributes:
+            for part in parts:
+                if not isinstance(part, str):
+                    _free_vars(part, bound, out)
+        for part in e.content:
+            if not isinstance(part, str):
+                _free_vars(part, bound, out)
+        return
+    # generic fallback: walk the known child attributes
+    for attr in ("lo", "hi", "cond", "then", "els", "lhs", "rhs", "operand",
+                 "name", "content", "value", "ret", "expr", "base"):
+        child = getattr(e, attr, None)
+        if isinstance(child, ast.Expr):
+            _free_vars(child, bound, out)
+
+
+def desugar_module(module: ast.Module) -> ast.Module:
+    """Desugar a parsed module (function bodies and main expression)."""
+    functions = [
+        ast.FunctionDecl(f.name, list(f.params), desugar(f.body))
+        for f in module.functions
+    ]
+    return ast.Module(functions, desugar(module.body))
+
+
+def desugar(expr: ast.Expr) -> ast.Expr:
+    """Recursively desugar one expression."""
+    t = type(expr)
+    handler = _HANDLERS.get(t)
+    if handler is None:
+        raise StaticError(f"desugar: unhandled AST node {t.__name__}")
+    return handler(expr)
+
+
+def _d_literal(e: ast.Literal):
+    return e
+
+
+def _d_empty(e: ast.EmptySeq):
+    return e
+
+
+def _d_sequence(e: ast.Sequence):
+    return ast.Sequence([desugar(i) for i in e.items])
+
+
+def _d_range(e: ast.RangeExpr):
+    return ast.RangeExpr(desugar(e.lo), desugar(e.hi))
+
+
+def _d_var(e: ast.VarRef):
+    return e
+
+
+def _d_ctx(e: ast.ContextItem):
+    return e
+
+
+def _d_flwor(e: ast.FLWOR):
+    clauses = []
+    for c in e.clauses:
+        if isinstance(c, ast.ForClause):
+            clauses.append(ast.ForClause(c.var, desugar(c.expr), c.pos_var))
+        else:
+            clauses.append(ast.LetClause(c.var, desugar(c.expr)))
+    where = desugar(e.where) if e.where is not None else None
+    order = [
+        ast.OrderSpec(desugar(o.expr), o.descending, o.empty_greatest)
+        for o in e.order
+    ]
+    return ast.FLWOR(clauses, where, order, desugar(e.ret), e.stable)
+
+
+def _d_quantified(e: ast.Quantified):
+    """``some ... satisfies c`` → ``exists(for ... where c return 1)``;
+    ``every ... satisfies c`` → ``not(exists(for ... where not(c) ...))``."""
+    satisfies = desugar(e.satisfies)
+    clauses = [ast.ForClause(v, desugar(b), None) for v, b in e.bindings]
+    if e.kind == "some":
+        flwor = ast.FLWOR(clauses, satisfies, [], ast.Literal(1))
+        return ast.FunctionCall("exists", [flwor])
+    negated = ast.FunctionCall("not", [satisfies])
+    flwor = ast.FLWOR(clauses, negated, [], ast.Literal(1))
+    return ast.FunctionCall("not", [ast.FunctionCall("exists", [flwor])])
+
+
+def _d_if(e: ast.IfExpr):
+    return ast.IfExpr(desugar(e.cond), desugar(e.then), desugar(e.els))
+
+
+def _d_typeswitch(e: ast.Typeswitch):
+    cases = [
+        ast.TypeswitchCase(c.test, c.var, desugar(c.expr)) for c in e.cases
+    ]
+    return ast.Typeswitch(desugar(e.operand), cases, e.default_var, desugar(e.default))
+
+
+def _d_union(e: ast.NodeUnion):
+    """``e1 | e2`` → ``fs:ddo((e1, e2))`` — union is distinct-doc-order
+    over the concatenation."""
+    return ast.FunctionCall(
+        "fs:ddo", [ast.Sequence([desugar(e.lhs), desugar(e.rhs)])]
+    )
+
+
+def _d_nodesetop(e: ast.NodeSetOp):
+    return ast.NodeSetOp(e.kind, desugar(e.lhs), desugar(e.rhs))
+
+
+def _d_arith(e: ast.Arith):
+    return ast.Arith(e.op, desugar(e.lhs), desugar(e.rhs))
+
+
+def _d_neg(e: ast.Neg):
+    return ast.Neg(desugar(e.operand))
+
+
+def _d_valuecomp(e: ast.ValueComp):
+    return ast.ValueComp(e.op, desugar(e.lhs), desugar(e.rhs))
+
+
+def _d_generalcomp(e: ast.GeneralComp):
+    return ast.GeneralComp(e.op, desugar(e.lhs), desugar(e.rhs))
+
+
+def _d_nodecomp(e: ast.NodeComp):
+    return ast.NodeComp(e.op, desugar(e.lhs), desugar(e.rhs))
+
+
+def _d_boolop(e: ast.BoolOp):
+    return ast.BoolOp(e.op, desugar(e.lhs), desugar(e.rhs))
+
+
+def _d_path(e: ast.PathExpr):
+    start = desugar(e.start) if e.start is not None else None
+    raw_steps = list(e.steps)
+    # a relative path beginning with a primary expression ($x/a, doc(..)/a)
+    # hoists that primary into the path start
+    if start is None and not e.absolute and raw_steps and isinstance(
+        raw_steps[0], ast.FilterStep
+    ):
+        first = raw_steps.pop(0)
+        start = desugar(first.expr)
+        if first.predicates:
+            start = ast.Filter(start, [desugar(p) for p in first.predicates])
+    steps = []
+    for s in raw_steps:
+        if isinstance(s, ast.Step):
+            steps.append(ast.Step(s.axis, s.test, [desugar(p) for p in s.predicates]))
+        else:
+            steps.append(
+                ast.FilterStep(desugar(s.expr), [desugar(p) for p in s.predicates])
+            )
+    return ast.PathExpr(start, steps, e.absolute)
+
+
+def _d_filter(e: ast.Filter):
+    return ast.Filter(desugar(e.base), [desugar(p) for p in e.predicates])
+
+
+def _d_call(e: ast.FunctionCall):
+    name = _BUILTIN_ALIASES.get(e.name, e.name)
+    return ast.FunctionCall(name, [desugar(a) for a in e.args])
+
+
+def _avt_value(parts: list) -> ast.Expr:
+    """An attribute value template → one string-valued expression."""
+    exprs: list[ast.Expr] = []
+    for part in parts:
+        if isinstance(part, str):
+            exprs.append(ast.Literal(part))
+        else:
+            exprs.append(ast.FunctionCall("fs:item-join", [desugar(part)]))
+    if not exprs:
+        return ast.Literal("")
+    out = exprs[0]
+    if isinstance(out, ast.Literal) and not isinstance(out.value, str):
+        out = ast.FunctionCall("string", [out])
+    for nxt in exprs[1:]:
+        out = ast.FunctionCall("concat", [out, nxt])
+    return out
+
+
+def _d_direct(e: ast.DirectElement):
+    """Direct constructor → computed element with explicit children."""
+    content: list[ast.Expr] = []
+    for attr_name, parts in e.attributes:
+        content.append(
+            ast.CompAttribute(ast.Literal(attr_name), _avt_value(parts))
+        )
+    for part in e.content:
+        if isinstance(part, str):
+            content.append(ast.CompText(ast.Literal(part)))
+        else:
+            content.append(desugar(part))
+    body: ast.Expr
+    if not content:
+        body = ast.EmptySeq()
+    elif len(content) == 1:
+        body = content[0]
+    else:
+        body = ast.Sequence(content)
+    return ast.CompElement(ast.Literal(e.name), body)
+
+
+def _d_comp_elem(e: ast.CompElement):
+    return ast.CompElement(desugar(e.name), desugar(e.content))
+
+
+def _d_comp_attr(e: ast.CompAttribute):
+    return ast.CompAttribute(desugar(e.name), desugar(e.value))
+
+
+def _d_comp_text(e: ast.CompText):
+    return ast.CompText(desugar(e.content))
+
+
+def _d_cast(e: ast.CastExpr):
+    return ast.CastExpr(desugar(e.operand), e.type_name)
+
+
+def _d_instance(e: ast.InstanceOf):
+    return ast.InstanceOf(desugar(e.operand), e.test)
+
+
+_HANDLERS = {
+    ast.Literal: _d_literal,
+    ast.EmptySeq: _d_empty,
+    ast.Sequence: _d_sequence,
+    ast.RangeExpr: _d_range,
+    ast.VarRef: _d_var,
+    ast.ContextItem: _d_ctx,
+    ast.FLWOR: _d_flwor,
+    ast.Quantified: _d_quantified,
+    ast.IfExpr: _d_if,
+    ast.Typeswitch: _d_typeswitch,
+    ast.NodeUnion: _d_union,
+    ast.NodeSetOp: _d_nodesetop,
+    ast.Arith: _d_arith,
+    ast.Neg: _d_neg,
+    ast.ValueComp: _d_valuecomp,
+    ast.GeneralComp: _d_generalcomp,
+    ast.NodeComp: _d_nodecomp,
+    ast.BoolOp: _d_boolop,
+    ast.PathExpr: _d_path,
+    ast.Filter: _d_filter,
+    ast.FunctionCall: _d_call,
+    ast.DirectElement: _d_direct,
+    ast.CompElement: _d_comp_elem,
+    ast.CompAttribute: _d_comp_attr,
+    ast.CompText: _d_comp_text,
+    ast.CastExpr: _d_cast,
+    ast.InstanceOf: _d_instance,
+}

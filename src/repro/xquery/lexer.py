@@ -1,0 +1,211 @@
+"""A streaming lexer for XQuery.
+
+The lexer hands out tokens on demand with arbitrary lookahead, but also
+exposes character-level access to the underlying source: the parser drops
+to character mode inside direct XML constructors (whose lexical rules are
+XML's, not XQuery's) and re-enters token mode for enclosed ``{...}``
+expressions — the classic hand-written-XQuery-parser arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XQuerySyntaxError
+from repro.xml.escape import resolve_entities
+
+#: multi-character symbols, longest first (order matters)
+_SYMBOLS = [
+    ":=", "<<", ">>", "<=", ">=", "!=", "//", "..", "::",
+    "(", ")", "[", "]", "{", "}", ",", ";", "$", "@", "/", ".",
+    "*", "+", "-", "=", "<", ">", "|", "?",
+]
+
+_NAME_START = set("_") | set(chr(c) for c in range(ord("a"), ord("z") + 1)) | set(
+    chr(c) for c in range(ord("A"), ord("Z") + 1)
+)
+_NAME_CHARS = _NAME_START | set("-.") | set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``type`` is one of ``integer``, ``decimal``, ``double``, ``string``,
+    ``name`` (QName), ``symbol`` or ``eof``; ``value`` the decoded value.
+    """
+
+    type: str
+    value: object
+    pos: int
+    line: int
+    col: int
+
+    def is_name(self, *names: str) -> bool:
+        return self.type == "name" and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.type == "symbol" and self.value in symbols
+
+
+class Lexer:
+    """Tokeniser with lookahead over ``text`` starting at position 0."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self._buffer: list[Token] = []
+
+    # ------------------------------------------------------------- errors
+    def line_col(self, pos: int) -> tuple[int, int]:
+        upto = self.text[:pos]
+        return upto.count("\n") + 1, pos - (upto.rfind("\n") + 1) + 1
+
+    def error(self, message: str, pos: int | None = None) -> XQuerySyntaxError:
+        line, col = self.line_col(self.pos if pos is None else pos)
+        return XQuerySyntaxError(message, line, col)
+
+    # ------------------------------------------------------- token access
+    def peek(self, k: int = 0) -> Token:
+        while len(self._buffer) <= k:
+            self._buffer.append(self._scan())
+        return self._buffer[k]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self._buffer.pop(0)
+        return token
+
+    # ------------------------------------------------- char-level control
+    def char_pos(self) -> int:
+        """Source position where the next token would start (used when the
+        parser switches to character mode); clears pending lookahead."""
+        if self._buffer:
+            pos = self._buffer[0].pos
+            self._buffer.clear()
+            self.pos = pos
+            return pos
+        self._skip_ignorable()
+        return self.pos
+
+    def set_pos(self, pos: int) -> None:
+        """Resume token scanning from an explicit source position."""
+        self._buffer.clear()
+        self.pos = pos
+
+    def raw(self) -> str:
+        return self.text
+
+    # ------------------------------------------------------------ scanning
+    def _skip_ignorable(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif text.startswith("(:", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            if text.startswith("(:", self.pos):
+                depth += 1
+                self.pos += 2
+            elif text.startswith(":)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise self.error("unterminated comment", start)
+
+    def _scan(self) -> Token:
+        self._skip_ignorable()
+        text, n = self.text, len(self.text)
+        start = self.pos
+        line, col = self.line_col(start)
+        if start >= n:
+            return Token("eof", None, start, line, col)
+        ch = text[start]
+        if ch.isdigit():
+            return self._scan_number(start, line, col)
+        if ch in ("'", '"'):
+            return self._scan_string(start, line, col)
+        if ch in _NAME_START:
+            return self._scan_name(start, line, col)
+        # '.' followed by a digit is a decimal literal
+        if ch == "." and start + 1 < n and text[start + 1].isdigit():
+            return self._scan_number(start, line, col)
+        for sym in _SYMBOLS:
+            if text.startswith(sym, start):
+                self.pos = start + len(sym)
+                return Token("symbol", sym, start, line, col)
+        raise self.error(f"unexpected character {ch!r}", start)
+
+    def _scan_number(self, start: int, line: int, col: int) -> Token:
+        text, n = self.text, len(self.text)
+        p = start
+        while p < n and text[p].isdigit():
+            p += 1
+        is_decimal = False
+        if p < n and text[p] == "." and (p + 1 < n and text[p + 1].isdigit() or p > start):
+            is_decimal = True
+            p += 1
+            while p < n and text[p].isdigit():
+                p += 1
+        is_double = False
+        if p < n and text[p] in "eE":
+            q = p + 1
+            if q < n and text[q] in "+-":
+                q += 1
+            if q < n and text[q].isdigit():
+                is_double = True
+                p = q
+                while p < n and text[p].isdigit():
+                    p += 1
+        self.pos = p
+        raw = text[start:p]
+        if is_double or is_decimal:
+            return Token("double" if is_double else "decimal", float(raw), start, line, col)
+        return Token("integer", int(raw), start, line, col)
+
+    def _scan_string(self, start: int, line: int, col: int) -> Token:
+        text, n = self.text, len(self.text)
+        quote = text[start]
+        p = start + 1
+        parts: list[str] = []
+        while True:
+            end = text.find(quote, p)
+            if end < 0:
+                raise self.error("unterminated string literal", start)
+            parts.append(text[p:end])
+            if end + 1 < n and text[end + 1] == quote:  # doubled quote escape
+                parts.append(quote)
+                p = end + 2
+            else:
+                self.pos = end + 1
+                break
+        value = resolve_entities("".join(parts), line, col)
+        return Token("string", value, start, line, col)
+
+    def _scan_name(self, start: int, line: int, col: int) -> Token:
+        text, n = self.text, len(self.text)
+        p = start
+        while p < n and text[p] in _NAME_CHARS:
+            p += 1
+        name = text[start:p]
+        # QName: prefix ':' local — but not '::' (axis separator)
+        if p < n and text[p] == ":" and p + 1 < n and text[p + 1] in _NAME_START:
+            q = p + 1
+            while q < n and text[q] in _NAME_CHARS:
+                q += 1
+            name = text[start:q]
+            p = q
+        self.pos = p
+        return Token("name", name, start, line, col)

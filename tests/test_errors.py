@@ -1,0 +1,122 @@
+"""Error behaviour: both engines raise the right W3C-coded errors."""
+
+import pytest
+
+from repro import PathfinderEngine
+from repro.baseline.interpreter import Interpreter
+from repro.errors import (
+    DynamicError,
+    NotSupportedError,
+    PathfinderError,
+    StaticError,
+    XQuerySyntaxError,
+)
+from repro.xquery.core import desugar_module
+from repro.xquery.parser import parse_query
+
+from tests.conftest import SMALL_XML
+
+
+@pytest.fixture
+def engine():
+    e = PathfinderEngine()
+    e.load_document("doc.xml", SMALL_XML)
+    return e
+
+
+def baseline_raises(engine, query, exc_type):
+    module = desugar_module(parse_query(query))
+    interp = Interpreter(engine.arena, engine.documents, engine.default_document)
+    with pytest.raises(exc_type):
+        interp.execute(module)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "for $x in",
+            "let $x 5 return $x",
+            "1 +",
+            "if (1) then 2",
+            "<a></b>",
+            "$",
+            "fn:doc(",
+            "typeswitch (1) default return 2",  # no case
+            "((1,2)",
+        ],
+    )
+    def test_parse_errors_carry_code(self, query):
+        with pytest.raises(XQuerySyntaxError) as exc:
+            parse_query(query)
+        assert exc.value.code == "err:XPST0003"
+
+
+class TestStaticErrors:
+    def test_undefined_variable_xpst0008(self, engine):
+        with pytest.raises(StaticError) as exc:
+            engine.execute("$nope")
+        assert exc.value.code == "err:XPST0008"
+        baseline_raises(engine, "$nope", StaticError)
+
+    def test_unknown_function_xpst0017(self, engine):
+        with pytest.raises(StaticError) as exc:
+            engine.execute("frobnicate(1)")
+        assert exc.value.code == "err:XPST0017"
+        baseline_raises(engine, "frobnicate(1)", StaticError)
+
+    def test_wrong_arity_is_unknown_function(self, engine):
+        with pytest.raises(StaticError):
+            engine.execute("count(1, 2, 3)")
+
+    def test_context_item_absent_xpdy0002(self, engine):
+        with pytest.raises(StaticError) as exc:
+            engine.execute("position()")
+        assert exc.value.code == "err:XPDY0002"
+
+    def test_missing_document(self, engine):
+        with pytest.raises(PathfinderError) as exc:
+            engine.execute('doc("nope.xml")/a')
+        assert exc.value.code == "err:FODC0002"
+
+    def test_duplicate_function_declaration(self, engine):
+        query = (
+            "declare function local:f($x) { $x }; "
+            "declare function local:f($y) { $y }; 1"
+        )
+        with pytest.raises(StaticError):
+            engine.execute(query)
+
+
+class TestDynamicErrors:
+    def test_integer_division_by_zero_foar0001(self, engine):
+        with pytest.raises(DynamicError) as exc:
+            engine.execute("1 idiv 0")
+        assert exc.value.code == "err:FOAR0001"
+        baseline_raises(engine, "1 idiv 0", DynamicError)
+
+    def test_step_on_atomic_xpty0019(self, engine):
+        with pytest.raises(DynamicError) as exc:
+            engine.execute("(1, 2)/a")
+        assert exc.value.code == "err:XPTY0019"
+        baseline_raises(engine, "(1, 2)/a", DynamicError)
+
+    def test_double_div_by_zero_is_inf_not_error(self, engine):
+        assert engine.execute("1 div 0").serialize() == "INF"
+        assert engine.execute("-1 div 0").serialize() == "-INF"
+        assert engine.execute("0 div 0").serialize() == "NaN"
+
+
+class TestNotSupported:
+    def test_dynamic_doc_uri(self, engine):
+        with pytest.raises(NotSupportedError):
+            engine.execute('let $u := "doc.xml" return doc($u)')
+
+    def test_unbounded_recursion_in_compiler(self, engine):
+        query = "declare function local:f($x) { local:f($x + 1) }; local:f(0)"
+        with pytest.raises(NotSupportedError):
+            engine.execute(query)
+
+    def test_unsupported_cast_target(self, engine):
+        with pytest.raises(NotSupportedError):
+            engine.execute("1 cast as xs:hexBinary")

@@ -1,0 +1,75 @@
+"""Smoke tests for the benchmark harness and report generators.
+
+The benchmark harness is part of the deliverable (it regenerates every
+table/figure), so its machinery is covered here: engine loading/caching,
+row construction, DNF handling and each report function.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from benchmarks import harness, report
+
+
+class TestHarness:
+    def test_load_engines_cached(self):
+        a = harness.load_engines(0.0005, seed=3)
+        b = harness.load_engines(0.0005, seed=3)
+        assert a is b
+        assert a.node_count > 0 and a.xml_bytes > 0
+
+    def test_run_query_row(self):
+        engines = harness.load_engines(0.0005, seed=3)
+        row = harness.run_query(engines, "Q1", timeout=20.0)
+        assert row.pathfinder_seconds > 0
+        assert row.speedup is None or row.speedup > 0
+
+    def test_baseline_timeout_reports_dnf(self):
+        engines = harness.load_engines(0.0008, seed=3)
+        result = harness.time_baseline(engines, "Q9", timeout=0.001)
+        assert result is None  # DNF
+
+    def test_baseline_with_indexes(self):
+        engines = harness.load_engines(0.0005, seed=3)
+        t = harness.time_baseline(engines, "Q8", timeout=30.0, use_indexes=True)
+        assert t is not None and t > 0
+
+    def test_fmt_seconds(self):
+        assert harness.fmt_seconds(None) == "DNF"
+        assert harness.fmt_seconds(0.1234) == "0.123"
+        assert harness.fmt_seconds(42.0) == "42.0"
+
+
+class TestReports:
+    def _run(self, fn, *args, **kwargs):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            fn(*args, **kwargs)
+        return buffer.getvalue()
+
+    def test_storage_report(self):
+        out = self._run(report.report_storage, scales=(0.0005,))
+        assert "overhead %" in out
+
+    def test_figure5_report(self):
+        out = self._run(report.report_figure5)
+        assert "110 120" in out and "operators" in out
+
+    def test_optimizer_report_lines(self):
+        out = self._run(report.report_optimizer)
+        assert out.count("%") >= 20  # one reduction per query
+
+    def test_table3_single_scale(self):
+        out = self._run(report.report_table3, scales=(0.0005,), timeout=10.0)
+        assert "Q20" in out and "PF@0.0005" in out
+
+    def test_main_dispatch_unknown(self):
+        assert report.main(["report.py", "nonsense"]) == 1
+
+    def test_main_dispatch_known(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = report.main(["report.py", "storage"])
+        assert code == 0

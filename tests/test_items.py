@@ -1,0 +1,252 @@
+"""Unit tests for the polymorphic item columns and the string pool."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DynamicError
+from repro.relational import items as it
+from repro.relational.items import (
+    ItemColumn,
+    StringPool,
+    K_BOOL,
+    K_DBL,
+    K_INT,
+    K_NODE,
+    K_STR,
+    K_UNTYPED,
+)
+
+
+class TestStringPool:
+    def test_intern_is_idempotent(self, pool):
+        a = pool.intern("hello")
+        b = pool.intern("hello")
+        assert a == b
+        assert len(pool) == 1
+
+    def test_distinct_strings_get_distinct_ids(self, pool):
+        assert pool.intern("a") != pool.intern("b")
+
+    def test_value_round_trip(self, pool):
+        sid = pool.intern("xyz")
+        assert pool.value(sid) == "xyz"
+
+    def test_lookup_missing_returns_minus_one(self, pool):
+        assert pool.lookup("never-seen") == -1
+
+    def test_lookup_present(self, pool):
+        sid = pool.intern("seen")
+        assert pool.lookup("seen") == sid
+
+    def test_doubles_for_parses_and_memoises(self, pool):
+        ids = pool.intern_many(["1.5", "x", "-2", "", " 3 "])
+        out = pool.doubles_for(np.asarray(ids))
+        assert out[0] == 1.5
+        assert math.isnan(out[1])
+        assert out[2] == -2.0
+        assert math.isnan(out[3])
+        assert out[4] == 3.0
+
+    def test_doubles_for_inf_lexical(self, pool):
+        ids = pool.intern_many(["INF", "-INF"])
+        out = pool.doubles_for(np.asarray(ids))
+        assert out[0] == math.inf and out[1] == -math.inf
+
+    def test_sort_ranks_match_lexicographic_order(self, pool):
+        words = ["pear", "apple", "fig", "apple", "banana"]
+        ids = pool.intern_many(words)
+        ranks = pool.sort_ranks(np.asarray(ids))
+        reordered = [w for _, w in sorted(zip(ranks, words))]
+        assert reordered == sorted(words)
+
+    def test_bytes_used_counts_utf8(self, pool):
+        pool.intern("ab")
+        pool.intern("cdé")
+        assert pool.bytes_used() == 2 + 4
+
+
+class TestItemColumnConstruction:
+    def test_from_values_mixed(self, pool):
+        col = ItemColumn.from_values([1, 2.5, "x", True], pool)
+        assert list(col.kinds) == [K_INT, K_DBL, K_STR, K_BOOL]
+        assert col.to_values(pool) == [1, 2.5, "x", True]
+
+    def test_from_ints_round_trip(self, pool):
+        col = ItemColumn.from_ints([-5, 0, 7])
+        assert col.to_values(pool) == [-5, 0, 7]
+
+    def test_from_doubles_round_trip(self, pool):
+        col = ItemColumn.from_doubles([1.25, -0.0, 3e10])
+        assert col.to_values(pool) == [1.25, 0.0, 3e10]
+
+    def test_negative_zero_is_canonicalised(self, pool):
+        col = ItemColumn.from_doubles([0.0, -0.0])
+        assert col.data[0] == col.data[1]
+
+    def test_concat_and_take(self, pool):
+        a = ItemColumn.from_ints([1, 2])
+        b = ItemColumn.from_values(["x"], pool)
+        c = ItemColumn.concat([a, b])
+        assert len(c) == 3
+        assert c.take(np.asarray([2, 0])).to_values(pool) == ["x", 1]
+
+    def test_empty(self):
+        assert len(ItemColumn.empty()) == 0
+
+    def test_is_homogeneous(self, pool):
+        assert ItemColumn.from_ints([1, 2]).is_homogeneous(K_INT)
+        assert not ItemColumn.from_values([1, "x"], pool).is_homogeneous(K_INT)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ItemColumn(np.zeros(2, dtype=np.uint8), np.zeros(3, dtype=np.int64))
+
+
+class TestCasts:
+    def test_to_double_homogeneous_int(self, pool):
+        col = ItemColumn.from_ints([1, 2])
+        assert list(it.to_double(col, pool)) == [1.0, 2.0]
+
+    def test_to_double_mixed_with_untyped(self, pool):
+        sid = pool.intern("4.5")
+        col = ItemColumn(
+            np.asarray([K_INT, K_UNTYPED], dtype=np.uint8),
+            np.asarray([3, sid], dtype=np.int64),
+        )
+        assert list(it.to_double(col, pool)) == [3.0, 4.5]
+
+    def test_to_double_rejects_nodes(self, pool):
+        col = ItemColumn.from_nodes([0])
+        with pytest.raises(DynamicError):
+            it.to_double(col, pool)
+
+    def test_to_string_ids_lexical_forms(self, pool):
+        col = ItemColumn.from_values([7, 2.5, True, "s"], pool)
+        ids = it.to_string_ids(col, pool)
+        assert pool.values(ids) == ["7", "2.5", "true", "s"]
+
+    def test_format_double(self):
+        assert it.format_double(3.0) == "3"
+        assert it.format_double(float("nan")) == "NaN"
+        assert it.format_double(float("inf")) == "INF"
+        assert it.format_double(-1.5) == "-1.5"
+
+
+class TestArithmetic:
+    def test_int_int_stays_int(self, pool):
+        a, b = ItemColumn.from_ints([7]), ItemColumn.from_ints([3])
+        assert it.arithmetic("add", a, b, pool).to_values(pool) == [10]
+        assert it.arithmetic("sub", a, b, pool).to_values(pool) == [4]
+        assert it.arithmetic("mul", a, b, pool).to_values(pool) == [21]
+        assert it.arithmetic("mod", a, b, pool).to_values(pool) == [1]
+
+    def test_div_promotes_to_double(self, pool):
+        a, b = ItemColumn.from_ints([7]), ItemColumn.from_ints([2])
+        assert it.arithmetic("div", a, b, pool).to_values(pool) == [3.5]
+
+    def test_idiv_truncates_toward_zero(self, pool):
+        a = ItemColumn.from_ints([7, -7, 7, -7])
+        b = ItemColumn.from_ints([2, 2, -2, -2])
+        assert it.arithmetic("idiv", a, b, pool).to_values(pool) == [3, -3, -3, 3]
+
+    def test_idiv_by_zero_raises(self, pool):
+        with pytest.raises(DynamicError):
+            it.arithmetic(
+                "idiv", ItemColumn.from_ints([1]), ItemColumn.from_ints([0]), pool
+            )
+
+    def test_untyped_operand_casts(self, pool):
+        a = ItemColumn.from_pooled(K_UNTYPED, [pool.intern("5")])
+        b = ItemColumn.from_ints([2])
+        assert it.arithmetic("mul", a, b, pool).to_values(pool) == [10.0]
+
+    def test_negate(self, pool):
+        assert it.negate(ItemColumn.from_ints([4]), pool).to_values(pool) == [-4]
+        assert it.negate(ItemColumn.from_doubles([1.5]), pool).to_values(pool) == [-1.5]
+
+    @given(
+        st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=20),
+        st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=20),
+    )
+    def test_add_matches_python(self, xs, ys):
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        pool = StringPool()
+        out = it.arithmetic(
+            "add", ItemColumn.from_ints(xs), ItemColumn.from_ints(ys), pool
+        )
+        assert out.to_values(pool) == [x + y for x, y in zip(xs, ys)]
+
+
+class TestComparison:
+    def test_numeric_comparison(self, pool):
+        a = ItemColumn.from_ints([1, 5, 3])
+        b = ItemColumn.from_ints([2, 5, 1])
+        assert list(it.compare("lt", a, b, pool)) == [True, False, False]
+        assert list(it.compare("eq", a, b, pool)) == [False, True, False]
+
+    def test_untyped_vs_numeric_is_numeric(self, pool):
+        a = ItemColumn.from_pooled(K_UNTYPED, [pool.intern("05")])
+        b = ItemColumn.from_ints([5])
+        assert list(it.compare("eq", a, b, pool)) == [True]
+
+    def test_untyped_vs_untyped_is_string(self, pool):
+        a = ItemColumn.from_pooled(K_UNTYPED, [pool.intern("05")])
+        b = ItemColumn.from_pooled(K_UNTYPED, [pool.intern("5")])
+        assert list(it.compare("eq", a, b, pool)) == [False]
+
+    def test_string_ordering(self, pool):
+        a = ItemColumn.from_values(["apple"], pool)
+        b = ItemColumn.from_values(["banana"], pool)
+        assert list(it.compare("lt", a, b, pool)) == [True]
+        assert list(it.compare("ge", a, b, pool)) == [False]
+
+    def test_non_numeric_string_vs_number_compares_false(self, pool):
+        a = ItemColumn.from_values(["zzz"], pool)
+        b = ItemColumn.from_ints([1])
+        assert list(it.compare("eq", a, b, pool)) == [False]
+        assert list(it.compare("lt", a, b, pool)) == [False]
+
+    @given(st.lists(st.text(max_size=6), min_size=1, max_size=12))
+    def test_string_lt_matches_python(self, words):
+        pool = StringPool()
+        a = ItemColumn.from_values(words, pool)
+        b = ItemColumn.from_values(list(reversed(words)), pool)
+        got = list(it.compare("lt", a, b, pool))
+        want = [x < y for x, y in zip(words, reversed(words))]
+        assert got == want
+
+
+class TestEbvAndOrdering:
+    def test_ebv_rules(self, pool):
+        col = ItemColumn.from_values([0, 1, 0.0, "", "x", True, False], pool)
+        assert list(it.ebv(col, pool)) == [False, True, False, False, True, True, False]
+
+    def test_ebv_nan_false(self, pool):
+        col = ItemColumn.from_doubles([float("nan")])
+        assert list(it.ebv(col, pool)) == [False]
+
+    def test_ebv_node_true(self, pool):
+        col = ItemColumn.from_nodes([3])
+        assert list(it.ebv(col, pool)) == [True]
+
+    def test_order_columns_numeric_before_string(self, pool):
+        col = ItemColumn.from_values([5, "a"], pool)
+        cls, _ = it.order_columns(col, pool)
+        assert cls[0] < cls[1]
+
+    def test_order_columns_sorts_strings_lexicographically(self, pool):
+        words = ["pear", "apple", "fig"]
+        col = ItemColumn.from_values(words, pool)
+        cls, val = it.order_columns(col, pool)
+        order = np.lexsort((val, cls))
+        assert [words[i] for i in order] == sorted(words)
+
+    def test_join_keys_folds_untyped_to_string(self, pool):
+        sid = pool.intern("v")
+        a = ItemColumn.from_pooled(K_UNTYPED, [sid])
+        kinds, payload = it.join_keys(a)
+        assert kinds[0] == K_STR and payload[0] == sid

@@ -1,0 +1,153 @@
+"""Unit and property tests for the vectorised array kernels."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.relational import kernels as k
+
+
+class TestMultiArange:
+    def test_basic(self):
+        out = k.multi_arange(np.asarray([0, 5]), np.asarray([3, 7]))
+        assert out.tolist() == [0, 1, 2, 5, 6]
+
+    def test_empty_ranges_skipped(self):
+        out = k.multi_arange(np.asarray([4, 2, 9]), np.asarray([4, 5, 8]))
+        assert out.tolist() == [2, 3, 4]
+
+    def test_all_empty(self):
+        assert k.multi_arange(np.asarray([1]), np.asarray([1])).tolist() == []
+
+    def test_no_ranges(self):
+        assert k.multi_arange(np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64)).tolist() == []
+
+    def test_adjacent_and_overlapping(self):
+        out = k.multi_arange(np.asarray([0, 1]), np.asarray([2, 4]))
+        assert out.tolist() == [0, 1, 1, 2, 3]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(0, 20)),
+            max_size=20,
+        )
+    )
+    def test_matches_naive(self, spans):
+        starts = np.asarray([s for s, _ in spans], dtype=np.int64)
+        stops = np.asarray([s + n for s, n in spans], dtype=np.int64)
+        want = [v for s, n in spans for v in range(s, s + n)]
+        assert k.multi_arange(starts, stops).tolist() == want
+
+
+class TestSegmentedCummax:
+    def test_restarts_per_group(self):
+        vals = np.asarray([3, 1, 5, 2, 9, 4])
+        grp = np.asarray([0, 0, 0, 1, 1, 1])
+        assert k.segmented_cummax(vals, grp).tolist() == [3, 3, 5, 2, 9, 9]
+
+    def test_negative_values(self):
+        vals = np.asarray([-5, -2, -9])
+        grp = np.asarray([0, 0, 1])
+        assert k.segmented_cummax(vals, grp).tolist() == [-5, -2, -9]
+
+    def test_empty(self):
+        assert k.segmented_cummax(np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64)).tolist() == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)),
+            max_size=40,
+        ).map(lambda rows: sorted(rows, key=lambda r: r[0]))
+    )
+    def test_matches_naive(self, rows):
+        grp = np.asarray([g for g, _ in rows], dtype=np.int64)
+        vals = np.asarray([v for _, v in rows], dtype=np.int64)
+        want, cur, cur_g = [], None, None
+        for g, v in rows:
+            cur = v if g != cur_g else max(cur, v)
+            cur_g = g
+            want.append(cur)
+        assert k.segmented_cummax(vals, grp).tolist() == want
+
+
+class TestGroupKernels:
+    def test_group_starts(self):
+        assert k.group_starts(np.asarray([1, 1, 2, 3, 3])).tolist() == [
+            True, False, True, True, False,
+        ]
+
+    def test_dense_group_ids(self):
+        assert k.dense_group_ids(np.asarray([4, 4, 7, 9, 9])).tolist() == [0, 0, 1, 2, 2]
+
+    def test_row_number_per_group(self):
+        assert k.row_number_per_group(np.asarray([1, 1, 1, 5, 5])).tolist() == [1, 2, 3, 1, 2]
+
+    def test_row_number_empty(self):
+        assert k.row_number_per_group(np.asarray([], dtype=np.int64)).tolist() == []
+
+
+class TestJoinKernels:
+    def test_join_indices_basic(self):
+        li, ri = k.join_indices(np.asarray([1, 2, 3]), np.asarray([2, 2, 4]))
+        pairs = list(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (1, 1)]
+
+    def test_join_indices_empty_side(self):
+        li, ri = k.join_indices(np.asarray([], dtype=np.int64), np.asarray([1]))
+        assert li.tolist() == [] and ri.tolist() == []
+
+    def test_in_set(self):
+        mask = k.in_set(np.asarray([5, 1, 9]), np.asarray([1, 5]))
+        assert mask.tolist() == [True, True, False]
+
+    def test_in_set_empty_probe(self):
+        assert k.in_set(np.asarray([1, 2]), np.asarray([], dtype=np.int64)).tolist() == [False, False]
+
+    @given(
+        st.lists(st.integers(0, 8), max_size=15),
+        st.lists(st.integers(0, 8), max_size=15),
+    )
+    def test_join_matches_naive(self, left, right):
+        li, ri = k.join_indices(
+            np.asarray(left, dtype=np.int64), np.asarray(right, dtype=np.int64)
+        )
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        want = sorted(
+            (i, j)
+            for i, x in enumerate(left)
+            for j, y in enumerate(right)
+            if x == y
+        )
+        assert got == want
+
+    @given(
+        st.lists(st.integers(-5, 5), max_size=20),
+        st.lists(st.integers(-5, 5), max_size=20),
+    )
+    def test_in_set_matches_naive(self, keys, probe):
+        got = k.in_set(
+            np.asarray(keys, dtype=np.int64), np.asarray(probe, dtype=np.int64)
+        ).tolist()
+        assert got == [x in set(probe) for x in keys]
+
+
+class TestCombineKeys:
+    def test_multi_column_equality(self):
+        a = np.asarray([1, 1, 2])
+        b = np.asarray([7, 8, 7])
+        combined = k.combine_keys([a, b])
+        assert combined[0] != combined[1]
+        assert combined[0] != combined[2]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_combined_equality_is_tuple_equality(self, rows):
+        cols = [np.asarray([r[i] for r in rows], dtype=np.int64) for i in range(3)]
+        combined = k.combine_keys(cols)
+        for i in range(len(rows)):
+            for j in range(len(rows)):
+                assert (combined[i] == combined[j]) == (rows[i] == rows[j])

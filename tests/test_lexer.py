@@ -1,0 +1,110 @@
+"""Unit tests for the XQuery lexer."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import Lexer
+
+
+def toks(text):
+    lx = Lexer(text)
+    out = []
+    while True:
+        t = lx.next()
+        if t.type == "eof":
+            return out
+        out.append((t.type, t.value))
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert toks("42") == [("integer", 42)]
+
+    def test_decimal(self):
+        assert toks("2.5") == [("decimal", 2.5)]
+
+    def test_leading_dot_decimal(self):
+        assert toks(".5") == [("decimal", 0.5)]
+
+    def test_double(self):
+        assert toks("1.5e2") == [("double", 150.0)]
+        assert toks("3E-1") == [("double", 0.3)]
+
+    def test_dot_dot_is_symbol(self):
+        assert toks("..") == [("symbol", "..")]
+
+    def test_integer_then_dot_name(self):
+        # "1." consumes the dot as a decimal point
+        assert toks("1.") == [("decimal", 1.0)]
+
+
+class TestStrings:
+    def test_double_and_single_quotes(self):
+        assert toks('"ab" \'cd\'') == [("string", "ab"), ("string", "cd")]
+
+    def test_doubled_quote_escape(self):
+        assert toks('"a""b"') == [("string", 'a"b')]
+
+    def test_entities_in_strings(self):
+        assert toks('"&lt;&amp;"') == [("string", "<&")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            toks('"abc')
+
+
+class TestNamesAndSymbols:
+    def test_qname_with_prefix(self):
+        assert toks("fn:doc") == [("name", "fn:doc")]
+
+    def test_axis_double_colon_not_qname(self):
+        assert toks("child::a") == [
+            ("name", "child"), ("symbol", "::"), ("name", "a"),
+        ]
+
+    def test_hyphenated_name(self):
+        assert toks("starts-with") == [("name", "starts-with")]
+
+    def test_multichar_symbols(self):
+        assert toks(":= << >> <= >= != //") == [
+            ("symbol", s) for s in (":=", "<<", ">>", "<=", ">=", "!=", "//")
+        ]
+
+    def test_variable(self):
+        assert toks("$foo") == [("symbol", "$"), ("name", "foo")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(XQuerySyntaxError):
+            toks("#")
+
+
+class TestCommentsAndPosition:
+    def test_comment_skipped(self):
+        assert toks("1 (: comment :) 2") == [("integer", 1), ("integer", 2)]
+
+    def test_nested_comments(self):
+        assert toks("1 (: a (: b :) c :) 2") == [("integer", 1), ("integer", 2)]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            toks("(: oops")
+
+    def test_error_position(self):
+        lx = Lexer("ab\n  #")
+        lx.next()
+        with pytest.raises(XQuerySyntaxError) as exc:
+            lx.next()
+        assert exc.value.line == 2
+
+    def test_lookahead(self):
+        lx = Lexer("a b c")
+        assert lx.peek(2).value == "c"
+        assert lx.next().value == "a"
+
+    def test_char_pos_and_set_pos(self):
+        lx = Lexer("a  bcd")
+        lx.next()
+        pos = lx.char_pos()
+        assert lx.text[pos] == "b"
+        lx.set_pos(pos + 1)
+        assert lx.next().value == "cd"

@@ -1,0 +1,167 @@
+"""Tests for the peephole optimizer: semantics preservation + reductions."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.arena import NodeArena
+from repro.relational import algebra as alg
+from repro.relational.algebra import col, const
+from repro.relational.evaluate import EvalContext, evaluate
+from repro.relational.optimizer import (
+    OptimizerStats,
+    optimize,
+    schema_of,
+)
+
+LIT = alg.Lit(
+    ("iter", "pos", "item"),
+    ((1, 1, 10), (1, 2, 20), (2, 1, 30)),
+    frozenset({"item"}),
+)
+
+
+def same_result(plan):
+    c1, c2 = EvalContext(NodeArena()), EvalContext(NodeArena())
+    t1 = evaluate(plan, c1)
+    t2 = evaluate(optimize(plan), c2)
+    assert t1.schema == t2.schema or set(t1.schema) >= set(t2.schema)
+    common = [c for c in t1.schema if c in t2.schema]
+    r1 = sorted(
+        tuple(row) for row in
+        zip(*[_dec(t1, c, c1) for c in common])
+    )
+    r2 = sorted(
+        tuple(row) for row in
+        zip(*[_dec(t2, c, c2) for c in common])
+    )
+    assert r1 == r2
+
+
+def _dec(table, name, ctx):
+    colv = table.columns[name]
+    from repro.relational.items import ItemColumn
+
+    if isinstance(colv, ItemColumn):
+        return [(type(v).__name__, v) for v in colv.to_values(ctx.pool)]
+    return [int(v) for v in colv]
+
+
+class TestSchemaInference:
+    def test_basic_ops(self):
+        assert schema_of(LIT) == ("iter", "pos", "item")
+        p = alg.Project(LIT, (("a", "item"),))
+        assert schema_of(p) == ("a",)
+        assert schema_of(alg.Select(LIT, "eq", col("pos"), const(1))) == LIT.schema
+        m = alg.Map(LIT, "add", "r", (col("item"), const(1)))
+        assert schema_of(m) == ("iter", "pos", "item", "r")
+        r = alg.RowNum(LIT, "n", (("pos", False),), "iter")
+        assert schema_of(r) == ("iter", "pos", "item", "n")
+        a = alg.Aggr(LIT, "count", "n", None, "iter")
+        assert schema_of(a) == ("iter", "n")
+
+    def test_join_concatenates(self):
+        other = alg.Lit(("x", "y"), ((1, 2),))
+        j = alg.Join(LIT, other, (("iter", "x"),))
+        assert schema_of(j) == ("iter", "pos", "item", "x", "y")
+
+
+class TestRewrites:
+    def test_projection_merge(self):
+        p1 = alg.Project(LIT, (("a", "item"), ("i", "iter")))
+        p2 = alg.Project(p1, (("b", "a"),))
+        out = optimize(p2)
+        # merged into a single projection over the literal (then folded)
+        assert alg.op_count(out) == 1
+        same_result(p2)
+
+    def test_identity_projection_removed(self):
+        p = alg.Project(LIT, (("iter", "iter"), ("pos", "pos"), ("item", "item")))
+        out = optimize(p)
+        assert isinstance(out, alg.Lit)
+
+    def test_dead_map_dropped(self):
+        m = alg.Map(LIT, "add", "dead", (col("item"), const(1)))
+        p = alg.Project(m, (("iter", "iter"),))
+        out = optimize(p)
+        assert all(not isinstance(op, alg.Map) for op in alg.walk(out))
+        same_result(p)
+
+    def test_dead_rownum_dropped(self):
+        r = alg.RowNum(LIT, "dead", (("pos", False),), "iter")
+        p = alg.Project(r, (("item", "item"),))
+        out = optimize(p)
+        assert all(not isinstance(op, alg.RowNum) for op in alg.walk(out))
+        same_result(p)
+
+    def test_select_over_literal_folds(self):
+        s = alg.Select(alg.Lit(("a",), ((1,), (2,), (3,))), "ge", col("a"), const(2))
+        out = optimize(s)
+        assert isinstance(out, alg.Lit)
+        assert out.rows == ((2,), (3,))
+
+    def test_item_select_not_folded_at_compile_time(self):
+        s = alg.Select(LIT, "eq", col("item"), const(10))
+        out = optimize(s)
+        same_result(s)
+
+    def test_union_of_literals_folds(self):
+        u = alg.Union((alg.Lit(("a",), ((1,),)), alg.Lit(("a",), ((2,),))))
+        out = optimize(u)
+        assert isinstance(out, alg.Lit)
+        assert out.rows == ((1,), (2,))
+
+    def test_empty_propagation_through_join(self):
+        empty = alg.Lit(("x",), ())
+        j = alg.Join(alg.Lit(("y", "v"), ((1, 2),)), empty, (("y", "x"),))
+        out = optimize(j)
+        assert isinstance(out, alg.Lit) and not out.rows
+
+    def test_cse_shares_identical_subplans(self):
+        m1 = alg.Map(LIT, "add", "r", (col("item"), const(1)))
+        m2 = alg.Map(LIT, "add", "r", (col("item"), const(1)))
+        u = alg.Union((m1, m2))
+        out = optimize(u)
+        union = next(op for op in alg.walk(out) if isinstance(op, alg.Union))
+        assert union.inputs[0] is union.inputs[1]
+
+    def test_cse_distinguishes_bool_from_int_literals(self):
+        """Regression: True == 1 in Python; CSE must not merge them."""
+        a = alg.Lit(("pos", "item"), ((1, True),), frozenset({"item"}))
+        b = alg.Lit(("pos", "item"), ((1, 1),), frozenset({"item"}))
+        u = alg.Union((a, b))
+        ctx = EvalContext(NodeArena())
+        vals = evaluate(optimize(u), ctx).item("item").to_values(ctx.pool)
+        assert sorted(str(v) for v in vals) == ["1", "True"]
+
+    def test_constructors_never_folded(self):
+        names = alg.Lit(("iter", "item"), ((1, "t"),), frozenset({"item"}))
+        content = alg.Lit(("iter", "pos", "item"), (), frozenset({"item"}))
+        e = alg.ElemConstr(names, content)
+        out = optimize(e)
+        assert any(isinstance(op, alg.ElemConstr) for op in alg.walk(out))
+
+
+class TestStats:
+    def test_stats_reduction(self):
+        plan = LIT
+        for i in range(5):
+            plan = alg.Project(plan, (("iter", "iter"), ("pos", "pos"), ("item", "item")))
+        stats = OptimizerStats()
+        optimize(plan, stats)
+        assert stats.ops_before == 6
+        assert stats.ops_after == 1
+        assert stats.reduction_pct > 80
+
+    def test_loop_lifted_plan_shrinks(self):
+        """The paper's point: mechanical loop-lifted plans shrink a lot."""
+        from repro.compiler.loop_lifting import Compiler
+        from repro.xquery.core import desugar_module
+        from repro.xquery.parser import parse_query
+
+        m = desugar_module(
+            parse_query("for $v in (10,20) where $v > 10 return $v + 100")
+        )
+        plan = Compiler({}, None).compile_module(m)
+        stats = OptimizerStats()
+        optimize(plan, stats)
+        assert stats.ops_after < stats.ops_before

@@ -1,0 +1,167 @@
+"""Reproduction checks for the paper's concrete artifacts.
+
+* Figure 2 — the sequence encoding of ``(5, "x", <a/>, "x")``;
+* Figure 3 — every intermediate table of the loop-lifted evaluation of
+  ``for $v in (10,20), $w in (100,200) return $v + $w``;
+* Figure 5 — the relational plan for ``for $v in (10,20) return $v + 100``
+  (operator inventory and result);
+* Table 1 — the operator repertoire exists and evaluates;
+* Table 2 — every construct of the supported dialect compiles and runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PathfinderEngine
+from repro.relational import algebra as alg
+
+
+@pytest.fixture
+def empty_engine():
+    e = PathfinderEngine()
+    e.load_document("d", "<r/>")
+    return e
+
+
+class TestFigure2SequenceEncoding:
+    def test_pos_item_encoding(self, empty_engine):
+        r = empty_engine.execute('(5, "x", <a/>, "x")')
+        table = r.table
+        iters = table.num("iter").tolist()
+        pos = table.num("pos").tolist()
+        assert iters == [1, 1, 1, 1]
+        assert sorted(pos) == [1, 2, 3, 4]
+        assert r.serialize() == "5 x<a/>x"
+
+
+class TestFigure3LoopLifting:
+    QUERY = "for $v in (10,20), $w in (100,200) return $v + $w"
+
+    def test_final_result_matches_figure_3g(self, empty_engine):
+        r = empty_engine.execute(self.QUERY)
+        rows = sorted(
+            zip(
+                r.table.num("iter").tolist(),
+                r.table.num("pos").tolist(),
+                r.table.item("item").to_values(empty_engine.arena.pool),
+            )
+        )
+        assert rows == [(1, 1, 110), (1, 2, 210), (1, 3, 120), (1, 4, 220)]
+
+    def test_intermediate_scopes(self):
+        """Trace the unoptimized plan and find the paper's intermediate
+        tables (as logical (iter, item) relations — physical row order is
+        an implementation detail)."""
+        from repro import PathfinderEngine
+
+        engine = PathfinderEngine(use_optimizer=False)
+        engine.load_document("d", "<r/>")
+        r = engine.execute(self.QUERY, trace=True)
+        pool = engine.arena.pool
+        seen = set()
+        for table in r.trace.values():
+            cols = set(table.schema)
+            if {"iter", "item"} <= cols and table.num_rows in (2, 4):
+                items = table.item("item").to_values(pool)
+                iters = table.num("iter").tolist()
+                seen.add(tuple(sorted(zip(iters, items), key=str)))
+        # Figure 3(b): $v in scope s1 — iter 1,2; items 10,20
+        assert ((1, 10), (2, 20)) in seen
+        # Figure 3(c): $v lifted into scope s2 — 10,10,20,20
+        assert ((1, 10), (2, 10), (3, 20), (4, 20)) in seen
+        # Figure 3(d): $w in scope s2 — 100,200,100,200
+        assert ((1, 100), (2, 200), (3, 100), (4, 200)) in seen
+        # Figure 3(e): $v + $w in s2 — 110,210,120,220
+        assert ((1, 110), (2, 210), (3, 120), (4, 220)) in seen
+
+
+class TestFigure5Plan:
+    QUERY = "for $v in (10,20) return $v + 100"
+
+    def test_result(self, empty_engine):
+        assert empty_engine.execute(self.QUERY).serialize() == "110 120"
+
+    def test_operator_inventory(self, empty_engine):
+        """The unoptimized plan contains the operators of Figure 5:
+        projections, row numbering, an equi-join, the ⊕ map, a cross
+        product and the literal tables."""
+        report = empty_engine.explain(self.QUERY)
+        kinds = {type(op) for op in alg.walk(report.plan)}
+        assert alg.Project in kinds
+        assert alg.RowNum in kinds
+        assert alg.Join in kinds
+        assert alg.Map in kinds
+        assert alg.Cross in kinds
+        assert alg.Lit in kinds
+
+    def test_add_map_present(self, empty_engine):
+        report = empty_engine.explain(self.QUERY)
+        maps = [op for op in alg.walk(report.plan) if isinstance(op, alg.Map)]
+        assert any(m.fn == "add" for m in maps)
+
+    def test_literal_input_values(self, empty_engine):
+        """The plan embeds the figure's literal values 10, 20 and 100
+        (as literal tables — our compiler emits one per sequence item)."""
+        report = empty_engine.explain(self.QUERY)
+        values = {
+            v
+            for op in alg.walk(report.plan)
+            if isinstance(op, alg.Lit)
+            for row in op.rows
+            for v in row
+        }
+        assert {10, 20, 100} <= values
+
+    def test_optimizer_shrinks_the_plan(self, empty_engine):
+        report = empty_engine.explain(self.QUERY)
+        assert report.stats.ops_after < report.stats.ops_before
+
+
+class TestTable2Dialect:
+    """One smoke case per row of the paper's Table 2."""
+
+    CASES = [
+        ("atomic literals", "42", "42"),
+        ("sequences", "(1, 2)", "1 2"),
+        ("variables", "let $v := 1 return $v", "1"),
+        ("let", "let $v := 2 return $v + 1", "3"),
+        ("for", "for $v in (1,2) return $v", "1 2"),
+        ("if", "if (1) then 2 else 3", "2"),
+        ("typeswitch", "typeswitch (1) case xs:integer return 'i' default return 'x'", "i"),
+        ("element constructor", "element a { () }", "<a/>"),
+        ("text constructor", "text { 'x' }", "x"),
+        ("order by", "for $v in (2,1) order by $v return $v", "1 2"),
+        ("XPath", "count(/r)", "1"),
+        ("document order", "/r << /r/self::r", "false"),
+        ("node identity", "/r is /r", "true"),
+        ("arithmetics", "1 + 1", "2"),
+        ("comparisons", "1 eq 1", "true"),
+        ("boolean operators", "1 and 1", "true"),
+        ("fn:doc", "count(doc('d'))", "1"),
+        ("fn:root", "root(/r) is root(/r/self::r)", "true"),
+        ("fn:data", "data(5)", "5"),
+        ("fs:distinct-doc-order", "count(fs:distinct-doc-order((/r, /r)))", "1"),
+        ("fn:count", "count((1,2))", "2"),
+        ("fn:sum", "sum((1,2))", "3"),
+        ("fn:empty", "empty(())", "true"),
+        ("fn:position", "(1,2,3)[position() = 2]", "2"),
+        ("fn:last", "(1,2,3)[last()]", "3"),
+        ("user defined functions", "declare function local:f($x) { $x }; local:f(9)", "9"),
+    ]
+
+    @pytest.mark.parametrize("label,query,expected", CASES, ids=[c[0] for c in CASES])
+    def test_dialect_row(self, empty_engine, label, query, expected):
+        assert empty_engine.execute(query).serialize() == expected
+
+
+class TestTable3Harness:
+    """Smoke-check the Table 3 benchmark harness machinery end to end."""
+
+    def test_harness_row(self):
+        from benchmarks.harness import run_query, load_engines
+
+        engines = load_engines(0.0005, seed=3)
+        row = run_query(engines, "Q1", timeout=20.0)
+        assert row.query == "Q1"
+        assert row.pathfinder_seconds > 0
+        assert row.baseline_seconds is None or row.baseline_seconds > 0

@@ -1,0 +1,293 @@
+"""Unit tests for the XQuery parser (AST shapes) and the desugarer."""
+
+import pytest
+
+from repro.encoding.axes import Axis
+from repro.errors import XQuerySyntaxError
+from repro.xquery import ast
+from repro.xquery.core import desugar, desugar_module, free_vars
+from repro.xquery.parser import parse_query
+
+
+def body(q):
+    return parse_query(q).body
+
+
+class TestPrimaries:
+    def test_literals(self):
+        assert body("42").value == 42
+        assert body('"s"').value == "s"
+        assert body("2.5").value == 2.5
+
+    def test_empty_sequence(self):
+        assert isinstance(body("()"), ast.EmptySeq)
+
+    def test_sequence_flattened(self):
+        e = body("(1, (2, 3), 4)")
+        assert [i.value for i in e.items] == [1, 2, 3, 4]
+
+    def test_variable(self):
+        assert body("$x").name == "x"
+
+    def test_range(self):
+        e = body("1 to 5")
+        assert isinstance(e, ast.RangeExpr)
+
+    def test_parenthesised(self):
+        assert body("(1)").value == 1
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        e = body("1 + 2 * 3")
+        assert isinstance(e, ast.Arith) and e.op == "add"
+        assert isinstance(e.rhs, ast.Arith) and e.rhs.op == "mul"
+
+    def test_or_lower_than_and(self):
+        e = body("1 or 2 and 3")
+        assert e.op == "or"
+        assert e.rhs.op == "and"
+
+    def test_general_vs_value_comparison(self):
+        assert isinstance(body("1 = 2"), ast.GeneralComp)
+        assert isinstance(body("1 eq 2"), ast.ValueComp)
+
+    def test_general_comp_ops_normalised(self):
+        assert body("1 != 2").op == "ne"
+        assert body("1 <= 2").op == "le"
+
+    def test_node_comparisons(self):
+        assert body("$a is $b").op == "is"
+        assert body("$a << $b").op == "before"
+        assert body("$a >> $b").op == "after"
+
+    def test_unary_minus(self):
+        assert isinstance(body("-1"), ast.Neg)
+        assert isinstance(body("--1"), ast.Literal)  # double negation folds
+
+    def test_div_keywords(self):
+        assert body("4 div 2").op == "div"
+        assert body("4 idiv 2").op == "idiv"
+        assert body("4 mod 2").op == "mod"
+
+    def test_name_not_operator_when_step(self):
+        # 'div' here is an element name in a path, not the operator
+        e = body("$a/div")
+        assert isinstance(e, ast.PathExpr)
+
+    def test_cast(self):
+        e = body("$x cast as xs:double")
+        assert isinstance(e, ast.CastExpr) and e.type_name == "xs:double"
+
+    def test_union_operator(self):
+        e = body("$a | $b")
+        assert isinstance(e, ast.NodeUnion)
+        e2 = body("$a union $b")
+        assert isinstance(e2, ast.NodeUnion)
+
+    def test_intersect_except(self):
+        e = body("$a except $b")
+        assert isinstance(e, ast.NodeSetOp) and e.kind == "except"
+        e2 = body("$a intersect $b")
+        assert isinstance(e2, ast.NodeSetOp) and e2.kind == "intersect"
+
+    def test_union_binds_tighter_than_multiplication(self):
+        e = body("$a | $b * 2")
+        assert isinstance(e, ast.Arith) and e.op == "mul"
+        assert isinstance(e.lhs, ast.NodeUnion)
+
+    def test_except_is_element_name_in_step(self):
+        # 'except' used as an element name, not the operator
+        e = body("$a/except")
+        assert isinstance(e, ast.PathExpr)
+
+    def test_instance_of(self):
+        e = body("$x instance of xs:integer")
+        assert isinstance(e, ast.InstanceOf)
+
+
+class TestPaths:
+    def test_absolute_path(self):
+        e = body("/site/a")
+        assert e.absolute and len(e.steps) == 2
+
+    def test_double_slash_expands(self):
+        e = body("//item")
+        assert e.steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert e.steps[1].test.name == "item"
+
+    def test_attribute_abbreviation(self):
+        e = body("$x/@id")
+        step = e.steps[-1]
+        assert step.axis is Axis.ATTRIBUTE and step.test.name == "id"
+
+    def test_parent_abbreviation(self):
+        e = body("$x/..")
+        assert e.steps[-1].axis is Axis.PARENT
+
+    def test_explicit_axes(self):
+        e = body("$x/ancestor-or-self::node()")
+        assert e.steps[-1].axis is Axis.ANCESTOR_OR_SELF
+
+    def test_kind_tests(self):
+        assert body("$x/text()").steps[-1].test.kind == "text"
+        assert body("$x/comment()").steps[-1].test.kind == "comment"
+        assert body("$x/element(a)").steps[-1].test.name == "a"
+
+    def test_wildcard(self):
+        assert body("$x/*").steps[-1].test.name is None
+
+    def test_predicates_attach_to_step(self):
+        e = body("$x/a[1][@b]")
+        assert len(e.steps[-1].predicates) == 2
+
+    def test_filter_on_primary(self):
+        e = body("$x[2]")
+        assert isinstance(e, ast.Filter)
+
+    def test_function_call_in_path(self):
+        e = body("doc('d')/a")
+        assert isinstance(e.steps[0], ast.FilterStep)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            body("$x/sideways::a")
+
+
+class TestFLWOR:
+    def test_clauses(self):
+        e = body("for $a in 1, $b in 2 let $c := 3 return $a")
+        kinds = [type(c) for c in e.clauses]
+        assert kinds == [ast.ForClause, ast.ForClause, ast.LetClause]
+
+    def test_positional_variable(self):
+        e = body("for $a at $i in (5,6) return $i")
+        assert e.clauses[0].pos_var == "i"
+
+    def test_where_and_order(self):
+        e = body("for $a in (1,2) where $a > 1 order by $a descending return $a")
+        assert e.where is not None
+        assert e.order[0].descending
+
+    def test_order_empty_greatest(self):
+        e = body("for $a in (1,2) order by $a empty greatest return $a")
+        assert e.order[0].empty_greatest
+
+    def test_stable_order(self):
+        e = body("for $a in (1,2) stable order by $a return $a")
+        assert e.stable
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            body("for $a in (1,2)")
+
+
+class TestConstructors:
+    def test_direct_element(self):
+        e = body('<a b="1">x</a>')
+        assert isinstance(e, ast.DirectElement)
+        assert e.attributes[0][0] == "b"
+        assert e.content == ["x"]
+
+    def test_avt_parts(self):
+        e = body('<a b="x{1}y"/>')
+        parts = e.attributes[0][1]
+        assert parts[0] == "x" and isinstance(parts[1], ast.Literal) and parts[2] == "y"
+
+    def test_brace_escapes(self):
+        e = body('<a b="{{v}}">t{{u}}</a>')
+        assert e.attributes[0][1] == ["{v}"]
+        assert e.content == ["t{u}"]
+
+    def test_nested_elements_and_enclosed(self):
+        e = body("<a><b/>{1+1}</a>")
+        assert isinstance(e.content[0], ast.DirectElement)
+        assert isinstance(e.content[1], ast.Arith)
+
+    def test_boundary_whitespace_dropped(self):
+        e = body("<a>\n  <b/>\n</a>")
+        assert all(not isinstance(c, str) for c in e.content)
+
+    def test_computed_constructors(self):
+        assert isinstance(body("element a { 1 }"), ast.CompElement)
+        assert isinstance(body("attribute a { 1 }"), ast.CompAttribute)
+        assert isinstance(body('text { "x" }'), ast.CompText)
+
+    def test_computed_element_with_name_expr(self):
+        e = body('element { "n" } { 1 }')
+        assert isinstance(e.name, ast.Literal)
+
+    def test_mismatched_direct_tags(self):
+        with pytest.raises(XQuerySyntaxError):
+            body("<a></b>")
+
+
+class TestControl:
+    def test_if(self):
+        e = body("if (1) then 2 else 3")
+        assert isinstance(e, ast.IfExpr)
+
+    def test_quantified(self):
+        e = body("some $x in (1,2) satisfies $x > 1")
+        assert e.kind == "some" and len(e.bindings) == 1
+
+    def test_typeswitch(self):
+        e = body(
+            "typeswitch (1) case $v as xs:integer return $v default $d return $d"
+        )
+        assert e.cases[0].var == "v"
+        assert e.default_var == "d"
+
+    def test_function_declaration(self):
+        m = parse_query("declare function f($a, $b) { $a }; f(1, 2)")
+        assert m.functions[0].params == ["a", "b"]
+
+    def test_declare_variable(self):
+        m = parse_query("declare variable $x := 5; $x + 1")
+        assert isinstance(m.body, ast.FLWOR)
+
+    def test_declare_namespace_ignored(self):
+        m = parse_query('declare namespace x = "http://x"; 1')
+        assert m.body.value == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("1 2foo&")
+
+
+class TestDesugar:
+    def test_quantifier_some(self):
+        e = desugar(body("some $x in (1,2) satisfies $x > 1"))
+        assert isinstance(e, ast.FunctionCall) and e.name == "exists"
+
+    def test_quantifier_every(self):
+        e = desugar(body("every $x in (1,2) satisfies $x > 1"))
+        assert e.name == "not"
+
+    def test_direct_constructor_becomes_computed(self):
+        e = desugar(body('<a b="v">t</a>'))
+        assert isinstance(e, ast.CompElement)
+        seq = e.content
+        assert isinstance(seq.items[0], ast.CompAttribute)
+        assert isinstance(seq.items[1], ast.CompText)
+
+    def test_fn_prefix_stripped(self):
+        e = desugar(body("fn:count(1)"))
+        assert e.name == "count"
+
+    def test_path_start_hoisting(self):
+        e = desugar(body("$x/a"))
+        assert isinstance(e.start, ast.VarRef)
+        assert len(e.steps) == 1
+
+    def test_free_vars(self):
+        e = body("for $a in $b return $a + $c")
+        assert free_vars(e) == {"b", "c"}
+
+    def test_free_vars_let_shadows(self):
+        e = body("let $a := $a return $a")
+        assert free_vars(e) == {"a"}  # the binding expr sees outer $a
+
+    def test_free_vars_path_predicates(self):
+        e = body("$d/a[@x = $y]")
+        assert free_vars(e) == {"d", "y"}
