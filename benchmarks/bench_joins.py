@@ -17,29 +17,8 @@ JOIN_QUERIES = ["Q8", "Q9", "Q11", "Q12"]
 
 def _engine(use_join_recognition: bool):
     text = generate_document(0.002)
-    engine = PathfinderEngine()
+    engine = PathfinderEngine(use_join_recognition=use_join_recognition)
     engine.load_document("auction.xml", text)
-    if not use_join_recognition:
-        # thread the flag through compile()
-        original = engine.compile
-
-        def compile_no_jr(query):
-            from repro.compiler.loop_lifting import Compiler
-            from repro.relational import algebra as alg
-            from repro.relational.optimizer import OptimizerStats, optimize
-            from repro.xquery.core import desugar_module
-            from repro.xquery.parser import parse_query
-
-            module = desugar_module(parse_query(query))
-            compiler = Compiler(
-                engine.documents, engine.default_document, use_join_recognition=False
-            )
-            plan = compiler.compile_module(module)
-            stats = OptimizerStats()
-            plan = optimize(plan, stats)
-            return plan, stats
-
-        engine.compile = compile_no_jr
     return engine
 
 

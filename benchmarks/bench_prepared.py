@@ -1,0 +1,102 @@
+"""Prepared-query amortization: cold compile+execute vs cached re-execution.
+
+The serving-system argument for the layered API: the Pathfinder
+front-end (parse → desugar → loop-lift → optimize) is paid once per
+distinct query text, after which every execution is a pure plan
+evaluation.  This benchmark measures, per XMark query:
+
+* **cold** — the legacy ``execute()`` path with an emptied plan cache,
+  so each run pays compilation *and* evaluation;
+* **prepared** — ``Session.prepare()`` once, then repeated
+  ``PreparedQuery.execute()`` runs (plan-cache hits).
+
+Run:  python benchmarks/bench_prepared.py [scale [reps]]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.harness import load_engines
+from repro.xmark import XMARK_QUERIES
+
+#: paper-flavoured selection: a cheap path query, the join-recognition
+#: showcase, and an aggregation/sort query with a mid-sized plan
+BENCH_QUERIES = ("Q1", "Q8", "Q17")
+
+DEFAULT_SCALE = 0.0005
+DEFAULT_REPS = 5
+
+
+def bench_query(session, query_name: str, reps: int) -> dict:
+    """Time one XMark query cold vs prepared; returns a result record."""
+    query = XMARK_QUERIES[query_name]
+    database = session.database
+
+    cold = []
+    for _ in range(reps):
+        database.plan_cache.clear()
+        t0 = time.perf_counter()
+        session.execute(query)
+        cold.append(time.perf_counter() - t0)
+
+    database.plan_cache.clear()
+    prepared = session.prepare(query)
+    prepared.execute()  # warm-up run outside the measurement
+    warm = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        prepared.execute()
+        warm.append(time.perf_counter() - t0)
+
+    cold_s = min(cold)
+    warm_s = min(warm)
+    return {
+        "query": query_name,
+        "cold_seconds": cold_s,
+        "prepared_seconds": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "compile_seconds": prepared.compile_seconds,
+        "plan_ops": prepared.optimizer_stats.ops_after,
+    }
+
+
+def run_prepared_bench(
+    scale: float = DEFAULT_SCALE,
+    reps: int = DEFAULT_REPS,
+    queries: tuple[str, ...] = BENCH_QUERIES,
+) -> list[dict]:
+    """All benchmark rows for one XMark instance (reusing the harness's
+    cached engines; the legacy engine exposes its Session)."""
+    engines = load_engines(scale)
+    session = engines.pathfinder.session
+    return [bench_query(session, name, reps) for name in queries]
+
+
+def report_prepared(scale: float = DEFAULT_SCALE, reps: int = DEFAULT_REPS) -> None:
+    print("\n=== prepared queries: compile-once plan cache amortization ===")
+    print(f"(XMark scale {scale}, best of {reps}; cold = compile+execute, "
+          "prepared = cached plan re-execution)")
+    print(f"{'Q':>4} | {'plan ops':>8} | {'cold s':>10} | {'prepared s':>10} "
+          f"| {'compile s':>10} | {'speedup':>8}")
+    for row in run_prepared_bench(scale=scale, reps=reps):
+        print(
+            f"{row['query']:>4} | {row['plan_ops']:>8} "
+            f"| {row['cold_seconds']:>10.4f} | {row['prepared_seconds']:>10.4f} "
+            f"| {row['compile_seconds']:>10.4f} | {row['speedup']:>7.1f}x"
+        )
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[1]) if len(argv) > 1 else DEFAULT_SCALE
+    reps = int(argv[2]) if len(argv) > 2 else DEFAULT_REPS
+    report_prepared(scale=scale, reps=reps)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -12,7 +12,6 @@ region self-joins are tree-unaware (no staircase join inside SQLite).
 
 import pytest
 
-from benchmarks.harness import load_engines
 from repro.compiler.serialize import serialize_result
 from repro.sqlhost import SQLHostBackend
 from repro.xmark import XMARK_QUERIES

@@ -9,6 +9,7 @@ Usage::
     python benchmarks/report.py staircase  # E5 staircase ablation
     python benchmarks/report.py optimizer  # E6 plan-size reductions
     python benchmarks/report.py joins      # E7 join-recognition ablation
+    python benchmarks/report.py prepared   # plan-cache amortization
     python benchmarks/report.py all
 """
 
@@ -212,6 +213,12 @@ def report_sqlhost():
         backend.close()
 
 
+def report_prepared():
+    from benchmarks.bench_prepared import report_prepared as run
+
+    run()
+
+
 REPORTS = {
     "table3": report_table3,
     "figure4": report_figure4,
@@ -221,6 +228,7 @@ REPORTS = {
     "optimizer": report_optimizer,
     "joins": report_joins,
     "sqlhost": report_sqlhost,
+    "prepared": report_prepared,
 }
 
 

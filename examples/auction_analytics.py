@@ -3,13 +3,18 @@ workload: join-heavy, aggregation-heavy queries on auction-site data,
 executed by the relational XQuery engine and cross-checked against the
 nested-loop baseline.
 
+Uses the layered API: one Database holding the XMark instance, a Session
+running the analytics, and a prepared query re-executed with different
+external-variable bindings (the serving-system pattern — the plan
+compiles once).
+
 Run:  python examples/auction_analytics.py [scale]
 """
 
 import sys
 import time
 
-from repro import PathfinderEngine
+import repro
 from repro.baseline.interpreter import Interpreter
 from repro.xmark import generate_document
 from repro.xquery.core import desugar_module
@@ -41,31 +46,53 @@ ANALYTICS = {
     """,
 }
 
+#: a parameterized report: one compiled plan, many region bindings
+ITEMS_IN_REGION = """
+    declare variable $region as xs:string external;
+    count(for $r in /site/regions/* where name($r) = $region return $r/item)
+"""
+
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
     print(f"generating XMark instance at scale {scale} ...")
     text = generate_document(scale)
-    engine = PathfinderEngine()
-    nodes = engine.load_document("auction.xml", text)
+    session = repro.connect()
+    database = session.database
+    nodes = database.load_document("auction.xml", text)
     print(f"loaded {nodes} nodes ({len(text) // 1024} KiB of XML)\n")
 
     for label, query in ANALYTICS.items():
         t0 = time.perf_counter()
-        result = engine.execute(query)
+        result = session.execute(query)
         elapsed = time.perf_counter() - t0
         out = result.serialize()
         shown = out if len(out) < 90 else out[:87] + "..."
         print(f"{label:34} [{elapsed * 1000:7.1f} ms]  {shown}")
 
+    # a prepared query bound per region: compilation happens exactly once
+    prepared = session.prepare(ITEMS_IN_REGION)
+    print("\nitems per region (one prepared plan, six bindings):")
+    for region in ("africa", "asia", "australia", "europe", "namerica", "samerica"):
+        t0 = time.perf_counter()
+        n = prepared.execute(region=region).serialize()
+        elapsed = time.perf_counter() - t0
+        print(f"  {region:10} {n:>6}   [{elapsed * 1000:6.1f} ms]")
+    print(
+        f"plan cache: {database.plan_cache.stats.hits} hits, "
+        f"{database.plan_cache.stats.misses} misses this run"
+    )
+
     # cross-check one join query against the item-at-a-time baseline
     label = "busiest buyer (sales count)"
     module = desugar_module(parse_query(ANALYTICS[label]))
-    interp = Interpreter(engine.arena, engine.documents, engine.default_document)
+    interp = Interpreter(
+        database.arena, database.documents, database.default_document
+    )
     t0 = time.perf_counter()
     baseline_out = interp.serialize(interp.execute(module))
     elapsed = time.perf_counter() - t0
-    agree = baseline_out == engine.execute(ANALYTICS[label]).serialize()
+    agree = baseline_out == session.execute(ANALYTICS[label]).serialize()
     print(
         f"\nbaseline cross-check on the join query: agree={agree} "
         f"(nested-loop engine took {elapsed * 1000:.1f} ms)"

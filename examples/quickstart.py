@@ -1,9 +1,9 @@
-"""Quickstart: load a document, run XQuery, inspect results.
+"""Quickstart: connect, load a document, run and prepare queries.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PathfinderEngine
+import repro
 
 CATALOG = """
 <catalog>
@@ -15,15 +15,15 @@ CATALOG = """
 
 
 def main() -> None:
-    engine = PathfinderEngine()
-    engine.load_document("catalog.xml", CATALOG)
+    session = repro.connect()
+    session.database.load_document("catalog.xml", CATALOG)
 
     # 1. a path expression
-    result = engine.execute("/catalog/book/title/text()")
+    result = session.execute("/catalog/book/title/text()")
     print("titles:          ", result.serialize())
 
     # 2. FLWOR with a predicate and arithmetic
-    result = engine.execute(
+    result = session.execute(
         """
         for $b in /catalog/book
         where $b/price > 35
@@ -34,21 +34,42 @@ def main() -> None:
     print("expensive books: ", result.serialize())
 
     # 3. aggregation
-    result = engine.execute("sum(/catalog/book/price)")
+    result = session.execute("sum(/catalog/book/price)")
     print("total price:     ", result.serialize())
 
-    # 4. Python-side access to the result sequence
-    result = engine.execute("for $b in /catalog/book return data($b/@year)")
-    years = result.values()
+    # 4. a prepared query: compile once, bind the external variable per run
+    prepared = session.prepare(
+        """
+        declare variable $cutoff as xs:double external;
+        count(/catalog/book[price > $cutoff])
+        """
+    )
+    for cutoff in (30, 40, 60):
+        result = prepared.execute(cutoff=cutoff)
+        print(
+            f"books over {cutoff:5}:  {result.serialize()}   "
+            f"[{result.execute_seconds * 1000:.1f} ms, compiled once]"
+        )
+
+    # 5. results iterate lazily — no serialization happens here
+    years = [v for v in session.execute("for $b in /catalog/book return data($b/@year)")]
     print("years (python):  ", years)
 
-    # 5. under the hood: the relational plan the query compiled to
-    report = engine.explain("count(//book)")
+    # 6. under the hood: the relational plan the query compiled to
+    report = session.explain("count(//book)")
     print(
         f"\ncount(//book) compiles to {report.stats.ops_after} relational "
         f"operators ({report.stats.ops_before} before peephole optimization):"
     )
     print(report.plan_ascii)
+
+    # 7. the session kept score
+    stats = session.stats
+    print(
+        f"session stats: {stats.queries_executed} queries, "
+        f"{stats.plan_cache_hits} plan-cache hits, "
+        f"{stats.plan_cache_misses} misses"
+    )
 
 
 if __name__ == "__main__":

@@ -6,17 +6,42 @@ XPath Accelerator encoding, XQuery is loop-lifted into a DAG of plain
 relational operators, axis steps run as staircase joins, and the plan is
 evaluated column-at-a-time on numpy.
 
-Public entry points:
+Public entry points (layered API)::
 
-* :class:`repro.engine.PathfinderEngine` — load documents, run queries,
-  explain plans.
+    import repro
+
+    session = repro.connect()                  # Database + Session
+    session.database.load_document("d.xml", "<a><b/></a>")
+    prepared = session.prepare(
+        "declare variable $n external; /a/b[position() <= $n]"
+    )
+    result = prepared.execute({"n": 1})        # compile once, bind many
+
+* :func:`repro.connect` / :class:`repro.api.Database` — documents,
+  arena and the shared compile-once plan cache.
+* :class:`repro.api.Session` — per-client settings, variable bindings
+  and statistics; ``prepare()`` returns a
+  :class:`repro.api.PreparedQuery`.
+* :class:`repro.engine.PathfinderEngine` — the legacy monolithic API,
+  kept as a thin shim over the layers above.
 * :class:`repro.baseline.interpreter.Interpreter` — the conventional
   nested-loop XQuery interpreter used as the X-Hive-shaped baseline.
 * :mod:`repro.xmark` — the XMark benchmark generator and queries.
 """
 
-from repro.engine import PathfinderEngine, QueryResult, ExplainReport
+from repro.api import Database, PlanCache, PreparedQuery, Session, connect
+from repro.engine import ExplainReport, PathfinderEngine, QueryResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["PathfinderEngine", "QueryResult", "ExplainReport", "__version__"]
+__all__ = [
+    "connect",
+    "Database",
+    "Session",
+    "PreparedQuery",
+    "PlanCache",
+    "PathfinderEngine",
+    "QueryResult",
+    "ExplainReport",
+    "__version__",
+]

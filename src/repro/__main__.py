@@ -6,6 +6,13 @@ The original Pathfinder shipped as a command-line compiler.  Usage::
     python -m repro -f query.xq --doc data.xml=input.xml --explain
     echo '1+1' | python -m repro
 
+Prepared-query mode: queries may declare external variables and bind
+them from the command line, and ``--repeat`` re-executes the compiled
+plan to show the compile-once amortization::
+
+    python -m repro -q 'declare variable $n as xs:integer external;
+                        (1 to $n)' --bind n=5 --repeat 3
+
 Options mirror the demo's "under the hood" hooks: ``--explain`` prints
 the plan stages, ``--mil`` the generated MIL program, ``--baseline``
 cross-checks against the nested-loop interpreter, ``--xmark SCALE``
@@ -17,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import PathfinderEngine
+from repro import connect
 from repro.errors import PathfinderError
 
 
@@ -42,6 +49,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCALE",
         help="load a generated XMark instance as 'auction.xml'",
     )
+    parser.add_argument(
+        "--bind",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind an external variable (repeatable; VALUE parses as "
+        "int, then float, else string)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="execute the prepared query N times (plan compiled once)",
+    )
     parser.add_argument("--explain", action="store_true", help="print plan stages")
     parser.add_argument("--mil", action="store_true", help="print the MIL program")
     parser.add_argument(
@@ -58,6 +80,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def parse_binding(spec: str) -> tuple[str, str]:
+    """``name=value`` → (name, raw value); typing happens against the
+    query's declared parameter types in :func:`coerce_binding`."""
+    name, sep, raw = spec.partition("=")
+    if not sep or not name:
+        raise PathfinderError(f"bad --bind {spec!r}, expected NAME=VALUE")
+    return name.lstrip("$"), raw
+
+
+def coerce_binding(raw: str, type_name: str | None) -> object:
+    """Convert a command-line value to the declared parameter type.
+
+    A declared ``xs:string`` keeps the raw text (so ``--bind zip=02134``
+    stays a string); numeric/boolean declarations convert strictly; an
+    untyped declaration falls back to int, then float, else string.  The
+    declared-type table is ``PARAM_TYPE_KINDS`` — the same one the
+    compiler and the bind-time checker use.
+    """
+    from repro.relational.items import (
+        K_BOOL,
+        K_DBL,
+        K_INT,
+        PARAM_TYPE_KINDS,
+    )
+
+    kinds = PARAM_TYPE_KINDS.get(type_name) if type_name else None
+    if kinds is not None:
+        primary = kinds[0]
+        try:
+            if primary == K_INT:
+                return int(raw)
+            if primary == K_DBL:
+                return float(raw)
+        except ValueError:
+            raise PathfinderError(
+                f"cannot convert {raw!r} to declared type {type_name}"
+            ) from None
+        if primary == K_BOOL:
+            if raw in ("true", "1"):
+                return True
+            if raw in ("false", "0"):
+                return False
+            raise PathfinderError(f"cannot convert {raw!r} to xs:boolean")
+        return raw  # string-kinded declarations keep the raw text
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -72,23 +147,34 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if not query.strip():
         print("no query given", file=sys.stderr)
         return 2
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
 
-    engine = PathfinderEngine(use_optimizer=not args.no_optimizer)
+    session = connect(use_optimizer=not args.no_optimizer)
+    database = session.database
     try:
+        raw_bindings = dict(parse_binding(spec) for spec in args.bind)
         if args.xmark is not None:
             from repro.xmark import generate_document
 
-            engine.load_document("auction.xml", generate_document(args.xmark))
+            database.load_document("auction.xml", generate_document(args.xmark))
         for spec in args.doc:
             uri, _, path = spec.partition("=")
             if not path:
                 print(f"bad --doc {spec!r}, expected URI=PATH", file=sys.stderr)
                 return 2
             with open(path, "r", encoding="utf-8") as handle:
-                engine.load_document(uri, handle.read())
+                database.load_document(uri, handle.read())
 
         if args.explain or args.mil:
-            report = engine.explain(query)
+            if args.bind or args.repeat > 1:
+                print(
+                    "warning: --bind/--repeat have no effect with "
+                    "--explain/--mil (the query is not executed)",
+                    file=sys.stderr,
+                )
+            report = session.explain(query)
             if args.explain:
                 print(
                     f"# plan: {report.stats.ops_before} operators, "
@@ -100,21 +186,43 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 print(report.mil, file=out)
             return 0
 
-        result = engine.execute(query)
+        prepared = session.prepare(query)
+        declared_types = {v.name: v.type_name for v in prepared.parameters}
+        bindings = {
+            name: coerce_binding(raw, declared_types.get(name))
+            for name, raw in raw_bindings.items()
+        }
+        result = prepared.execute(bindings)
+        for i in range(1, args.repeat):
+            result = prepared.execute(bindings)
+            if args.time:
+                print(
+                    f"# run {i + 1}: execute "
+                    f"{result.execute_seconds * 1000:.1f} ms (plan cached)",
+                    file=out,
+                )
         print(result.serialize(), file=out)
         if args.time:
             print(
-                f"# compile {result.compile_seconds * 1000:.1f} ms, "
-                f"execute {result.execute_seconds * 1000:.1f} ms",
+                f"# compile {prepared.compile_seconds * 1000:.1f} ms, "
+                f"execute {result.execute_seconds * 1000:.1f} ms, "
+                f"{args.repeat} run(s)",
                 file=out,
             )
         if args.baseline:
+            if prepared.parameters:
+                print(
+                    "# baseline skipped: the nested-loop interpreter does "
+                    "not support external variables",
+                    file=out,
+                )
+                return 0
             from repro.baseline.interpreter import Interpreter
             from repro.xquery.core import desugar_module
             from repro.xquery.parser import parse_query
 
             interp = Interpreter(
-                engine.arena, engine.documents, engine.default_document
+                database.arena, database.documents, database.default_document
             )
             module = desugar_module(parse_query(query))
             agree = interp.serialize(interp.execute(module)) == result.serialize()

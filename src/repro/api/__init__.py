@@ -1,0 +1,34 @@
+"""The layered client API: Database → Session → PreparedQuery → QueryResult.
+
+* :class:`~repro.api.database.Database` owns the node arena, the named
+  document catalog (load/unload/replace, explicit default) and a shared
+  LRU plan cache keyed by query text + document epochs;
+* :class:`~repro.api.session.Session` (``Database.connect()`` /
+  ``repro.connect()``) is one client's execution context: settings,
+  session-level variable bindings and statistics;
+* :class:`~repro.api.prepared.PreparedQuery` is a compiled, cacheable
+  plan supporting external-variable binding, so one compilation serves
+  many parameterized executions;
+* :class:`~repro.api.prepared.QueryResult` serialises lazily and
+  iterates the result sequence without materialising the text form.
+
+The legacy :class:`repro.engine.PathfinderEngine` is a thin shim over
+these layers.
+"""
+
+from repro.api.database import Database, connect
+from repro.api.plan_cache import CachedPlan, PlanCache, PlanCacheStats
+from repro.api.prepared import PreparedQuery, QueryResult
+from repro.api.session import Session, SessionStats
+
+__all__ = [
+    "Database",
+    "Session",
+    "SessionStats",
+    "PreparedQuery",
+    "QueryResult",
+    "PlanCache",
+    "PlanCacheStats",
+    "CachedPlan",
+    "connect",
+]

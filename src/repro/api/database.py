@@ -1,0 +1,229 @@
+"""The Database layer: node arena, document catalog, shared plan cache.
+
+A :class:`Database` is the process-wide, shareable state — every
+:class:`~repro.api.session.Session` connected to it sees the same
+documents and benefits from the same compile-once plan cache.  Sessions
+carry the per-client state (settings, variable bindings, statistics).
+
+Document catalog semantics:
+
+* ``load_document(uri, xml)`` shreds and registers a document.  Loading
+  an already-registered URI raises unless ``replace=True``, which swaps
+  the catalog entry for a freshly shredded tree and invalidates every
+  cached plan that reads that document.  (The old tree's rows stay in
+  the arena — the XPath Accelerator encoding is append-only — so
+  ``replace``/``unload`` reclaim no storage, they only update the
+  catalog.)
+* **The first loaded document implicitly becomes the default** used by
+  absolute paths (``/site/...``) unless/until ``default=True`` or
+  :meth:`set_default_document` says otherwise.  This implicit behaviour
+  is kept for convenience and backward compatibility; call
+  :meth:`set_default_document` to be explicit, and check
+  :attr:`default_is_implicit` to know which case you are in.
+* every load/replace bumps the document's *epoch*; the plan cache
+  revalidates entries against these epochs, so only plans reading a
+  changed document recompile.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.api.plan_cache import CachedPlan, PlanCache, plan_documents
+from repro.compiler.loop_lifting import Compiler
+from repro.encoding.arena import NodeArena
+from repro.encoding.shred import shred_text
+from repro.encoding.storage import StorageReport, measure_storage
+from repro.errors import PathfinderError
+from repro.relational import algebra as alg
+from repro.relational.optimizer import OptimizerStats, optimize
+from repro.xquery.core import desugar_module
+from repro.xquery.parser import parse_query
+
+
+class Database:
+    """Documents + arena + plan cache; the shared layer of the API."""
+
+    def __init__(self, plan_cache_size: int = 128):
+        self.arena = NodeArena()
+        self.documents: dict[str, int] = {}
+        self.doc_epochs: dict[str, int] = {}
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._default_document: str | None = None
+        self._default_explicit = False
+        self._epoch_counter = itertools.count(1)
+        self._xml_bytes = 0
+
+    # ------------------------------------------------------------ documents
+    @property
+    def default_document(self) -> str | None:
+        """The document absolute paths resolve against (see module docs
+        for the implicit-first-load rule)."""
+        return self._default_document
+
+    @property
+    def default_is_implicit(self) -> bool:
+        """True when the default document was chosen by the first-load
+        rule rather than by ``default=True``/``set_default_document``."""
+        return self._default_document is not None and not self._default_explicit
+
+    def set_default_document(self, uri: str) -> None:
+        """Explicitly pick the document absolute paths resolve against."""
+        if uri not in self.documents:
+            raise PathfinderError(f"document {uri!r} is not loaded")
+        self._default_document = uri
+        self._default_explicit = True
+
+    def load_document(
+        self,
+        uri: str,
+        xml_text: str,
+        default: bool = False,
+        replace: bool = False,
+    ) -> int:
+        """Parse, shred and register a document; returns its node count.
+
+        ``replace=True`` allows re-loading an existing URI: the catalog
+        entry is swapped and cached plans reading it are invalidated.
+        """
+        if uri in self.documents:
+            if not replace:
+                raise PathfinderError(
+                    f"document {uri!r} already loaded "
+                    "(pass replace=True to swap it)"
+                )
+            self.plan_cache.invalidate_document(uri)
+        before = self.arena.num_nodes
+        root = shred_text(self.arena, xml_text)
+        self.documents[uri] = root
+        self.doc_epochs[uri] = next(self._epoch_counter)
+        self._xml_bytes += len(xml_text.encode("utf-8"))
+        if default:
+            self._default_document = uri
+            self._default_explicit = True
+        elif self._default_document is None:
+            # implicit first-load default — see the module docstring
+            self._default_document = uri
+            self._default_explicit = False
+        return self.arena.num_nodes - before
+
+    def unload_document(self, uri: str) -> None:
+        """Remove a document from the catalog and invalidate its plans.
+
+        The shredded rows remain in the arena (append-only encoding);
+        the document merely stops being addressable by queries.
+        """
+        if uri not in self.documents:
+            raise PathfinderError(f"document {uri!r} is not loaded")
+        del self.documents[uri]
+        del self.doc_epochs[uri]
+        self.plan_cache.invalidate_document(uri)
+        if self._default_document == uri:
+            self._default_document = None
+            self._default_explicit = False
+
+    def storage_report(self) -> StorageReport:
+        """Byte-level storage accounting (Section 3.1 experiment)."""
+        return measure_storage(self.arena, self._xml_bytes)
+
+    # ------------------------------------------------------------- sessions
+    def connect(
+        self,
+        use_staircase: bool = True,
+        use_optimizer: bool = True,
+        use_join_recognition: bool = True,
+    ) -> "Session":
+        """Open a new session (per-client execution context) over this
+        database."""
+        from repro.api.session import Session
+
+        return Session(
+            self,
+            use_staircase=use_staircase,
+            use_optimizer=use_optimizer,
+            use_join_recognition=use_join_recognition,
+        )
+
+    # ------------------------------------------------------------- compiler
+    def cache_key(
+        self, query: str, use_optimizer: bool, use_join_recognition: bool = True
+    ) -> tuple:
+        return (query, use_optimizer, use_join_recognition, self._default_document)
+
+    def compile_query(
+        self,
+        query: str,
+        use_optimizer: bool,
+        use_join_recognition: bool = True,
+    ) -> CachedPlan:
+        """One full front-end run (parse → desugar → loop-lift →
+        optimize), bypassing the plan cache."""
+        t0 = time.perf_counter()
+        module = parse_query(query)
+        core = desugar_module(module)
+        compiler = Compiler(
+            self.documents,
+            self._default_document,
+            use_join_recognition=use_join_recognition,
+        )
+        plan = compiler.compile_module(core)
+        # record document dependencies from the unoptimized plan: rewrites
+        # may drop a DocRoot leaf, but the query still depends on it
+        doc_deps = plan_documents(plan)
+        stats = OptimizerStats()
+        if use_optimizer:
+            plan = optimize(plan, stats)
+        else:
+            stats.ops_before = stats.ops_after = alg.op_count(plan)
+        return CachedPlan(
+            query=query,
+            plan=plan,
+            stats=stats,
+            external_vars=tuple(core.external_vars),
+            module=module,
+            core=core,
+            doc_epochs={uri: self.doc_epochs[uri] for uri in doc_deps},
+            compile_seconds=time.perf_counter() - t0,
+            default_document=self._default_document,
+        )
+
+    def compile_cached(
+        self,
+        query: str,
+        use_optimizer: bool,
+        use_join_recognition: bool = True,
+    ) -> tuple[CachedPlan, bool]:
+        """Compile ``query`` through the plan cache.
+
+        Returns ``(entry, hit)`` where ``hit`` says whether the plan came
+        from the cache.  Compilation errors are not cached.
+        """
+        key = self.cache_key(query, use_optimizer, use_join_recognition)
+        entry = self.plan_cache.get(key, self.doc_epochs)
+        if entry is not None:
+            return entry, True
+        entry = self.compile_query(query, use_optimizer, use_join_recognition)
+        self.plan_cache.put(key, entry)
+        return entry, False
+
+
+def connect(
+    database: Database | None = None,
+    use_staircase: bool = True,
+    use_optimizer: bool = True,
+    use_join_recognition: bool = True,
+) -> "Session":
+    """Open a session — the front door of the API.
+
+    ``repro.connect()`` creates a private in-memory :class:`Database` and
+    returns a session on it; pass an existing ``database`` to share one
+    catalog and plan cache between sessions.
+    """
+    if database is None:
+        database = Database()
+    return database.connect(
+        use_staircase=use_staircase,
+        use_optimizer=use_optimizer,
+        use_join_recognition=use_join_recognition,
+    )

@@ -1,0 +1,115 @@
+"""The compile-once plan cache shared by every session of a Database.
+
+Pathfinder's whole front-end (parse → desugar → loop-lift → optimize) is
+deterministic given the query text, the compiler settings and the
+document catalog, and the emitted plan is an immutable DAG — so compiled
+plans are perfect cache entries.  The cache is a plain LRU keyed by
+``(query text, settings, default document)``; validity against catalog
+changes is checked per *document*: each entry records the documents its
+plan actually reads (the ``DocRoot`` leaves) together with their load
+epochs, and a lookup revalidates those epochs against the catalog.  A
+``load_document(..., replace=True)`` or ``unload_document()`` bumps only
+the affected document's epoch, so plans over other documents stay hot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.relational import algebra as alg
+from repro.relational.optimizer import OptimizerStats
+from repro.xquery import ast
+
+
+def plan_documents(plan: alg.Op) -> tuple[str, ...]:
+    """The URIs of every document a plan DAG reads (its DocRoot leaves)."""
+    return tuple(
+        sorted({op.uri for op in alg.walk(plan) if isinstance(op, alg.DocRoot)})
+    )
+
+
+@dataclass
+class CachedPlan:
+    """One compiled query: the plan plus everything needed to re-execute
+    and to revalidate the entry."""
+
+    query: str
+    plan: alg.Op
+    stats: OptimizerStats
+    external_vars: tuple[ast.ExternalVar, ...]
+    module: ast.Module
+    core: ast.Module
+    doc_epochs: dict[str, int]
+    compile_seconds: float
+    #: the catalog default at compile time — absolute paths were resolved
+    #: against it, so a held PreparedQuery must recompile when it changes
+    default_document: str | None = None
+
+
+@dataclass
+class PlanCacheStats:
+    """Cumulative cache counters (all sessions of the Database)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded LRU mapping cache keys to :class:`CachedPlan` entries."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple, doc_epochs: dict[str, int]) -> CachedPlan | None:
+        """Look up a plan; a hit requires every document the plan reads to
+        still be loaded at the epoch recorded when the plan was compiled."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        for uri, epoch in entry.doc_epochs.items():
+            if doc_epochs.get(uri) != epoch:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: CachedPlan) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_document(self, uri: str) -> int:
+        """Drop every entry whose plan reads ``uri``; returns the count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if uri in entry.doc_epochs
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

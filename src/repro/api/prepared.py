@@ -1,0 +1,160 @@
+"""PreparedQuery and the lazily-serializing QueryResult.
+
+A :class:`PreparedQuery` is a handle on one cached plan: compile once,
+execute many times.  Each execution resolves the query's external
+variables (``declare variable $x external``) from the merge of the
+session's variables and the per-call bindings, evaluates the shared
+plan DAG and wraps the result table in a :class:`QueryResult` that
+serialises on demand and supports the iterator protocol for streaming
+large sequences value by value.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.compiler.serialize import iter_result_values, serialize_result
+from repro.relational.evaluate import EvalContext, evaluate
+
+
+class QueryResult:
+    """The outcome of one query execution.
+
+    Serialisation is lazy (and cached): iterating or ``len()`` never
+    builds the XML text, and ``serialize()`` runs the post-processor at
+    most once.
+    """
+
+    def __init__(
+        self,
+        table,
+        arena,
+        plan,
+        compile_seconds: float,
+        execute_seconds: float,
+        from_cache: bool = False,
+        trace: dict | None = None,
+    ):
+        self.table = table
+        self.arena = arena
+        self.plan = plan
+        self.compile_seconds = compile_seconds
+        self.execute_seconds = execute_seconds
+        self.from_cache = from_cache
+        self.trace = trace
+        self._serialized: str | None = None
+
+    def serialize(self) -> str:
+        """Result sequence as XML/text (the paper's post-processor)."""
+        if self._serialized is None:
+            self._serialized = serialize_result(self.table, self.arena)
+        return self._serialized
+
+    def values(self) -> list:
+        """Result sequence as Python values (nodes become NodeHandles)."""
+        return list(self)
+
+    def __len__(self) -> int:
+        return self.table.num_rows
+
+    def __bool__(self) -> bool:
+        """Always truthy: a QueryResult is an outcome, not a container —
+        an empty result sequence is still a successful execution."""
+        return True
+
+    def __iter__(self):
+        """Stream the result sequence value by value in sequence order."""
+        return iter_result_values(self.table, self.arena)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryResult({len(self)} items, cached_plan={self.from_cache}, "
+            f"compile={self.compile_seconds * 1000:.2f}ms, "
+            f"execute={self.execute_seconds * 1000:.2f}ms)"
+        )
+
+
+class PreparedQuery:
+    """A compiled query bound to a session; execute it many times with
+    different external-variable bindings — compilation is never repeated."""
+
+    def __init__(self, session, entry, from_cache: bool):
+        self.session = session
+        self._entry = entry
+        self.from_cache = from_cache
+
+    @property
+    def query(self) -> str:
+        return self._entry.query
+
+    @property
+    def plan(self):
+        return self._entry.plan
+
+    @property
+    def optimizer_stats(self):
+        return self._entry.stats
+
+    @property
+    def parameters(self) -> tuple:
+        """The declared external variables (name + optional type)."""
+        return self._entry.external_vars
+
+    @property
+    def compile_seconds(self) -> float:
+        """Time the (possibly cached) compilation took originally."""
+        return self._entry.compile_seconds
+
+    def _revalidate(self) -> None:
+        """Recompile (through the cache) when a document this plan reads
+        was replaced or unloaded, or the default document changed, since
+        preparation — a held PreparedQuery never silently runs against a
+        stale catalog."""
+        database = self.session.database
+        stale = database.default_document != self._entry.default_document or any(
+            database.doc_epochs.get(uri) != epoch
+            for uri, epoch in self._entry.doc_epochs.items()
+        )
+        if not stale:
+            return
+        fresh = self.session.prepare(self._entry.query)
+        self._entry = fresh._entry
+        self.from_cache = fresh.from_cache
+
+    def execute(
+        self, bindings: dict | None = None, trace: bool = False, **params
+    ) -> QueryResult:
+        """Evaluate the plan with the given external-variable bindings.
+
+        Bindings merge, later wins: session variables, then the
+        ``bindings`` dict, then keyword arguments.  Binding a name the
+        query does not declare raises :class:`PathfinderError`.
+        """
+        session = self.session
+        database = session.database
+        self._revalidate()
+        merged = session._merged_bindings(
+            self._entry, {**(bindings or {}), **params}
+        )
+        trace_map: dict | None = {} if trace else None
+        t0 = time.perf_counter()
+        ctx = EvalContext(
+            database.arena,
+            documents=database.documents,
+            trace=trace_map,
+            use_staircase=session.use_staircase,
+            params=merged,
+        )
+        table = evaluate(self._entry.plan, ctx)
+        elapsed = time.perf_counter() - t0
+        session.stats.queries_executed += 1
+        session.stats.execute_seconds += elapsed
+        return QueryResult(
+            table=table,
+            arena=database.arena,
+            plan=self._entry.plan,
+            compile_seconds=self._entry.compile_seconds,
+            execute_seconds=elapsed,
+            from_cache=self.from_cache,
+            trace=trace_map,
+        )

@@ -1,0 +1,128 @@
+"""The Session layer: one client's execution context over a Database.
+
+A session carries everything that is *per client* rather than per
+database: evaluation settings (``use_staircase``, ``use_optimizer``),
+session-level external-variable bindings (defaults for prepared-query
+parameters) and execution statistics.  Several sessions can share one
+:class:`~repro.api.database.Database` — they see the same documents and
+the same plan cache, but their settings, bindings and stats are
+independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.prepared import PreparedQuery
+from repro.errors import PathfinderError
+
+
+@dataclass
+class SessionStats:
+    """Per-session execution counters."""
+
+    queries_executed: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+
+
+class Session:
+    """Per-client execution context; obtained via ``Database.connect()``
+    or ``repro.connect()``."""
+
+    def __init__(
+        self,
+        database,
+        use_staircase: bool = True,
+        use_optimizer: bool = True,
+        use_join_recognition: bool = True,
+    ):
+        self.database = database
+        self.use_staircase = use_staircase
+        self.use_optimizer = use_optimizer
+        self.use_join_recognition = use_join_recognition
+        self.variables: dict[str, object] = {}
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------ bindings
+    def set_variable(self, name: str, value) -> None:
+        """Bind a session-level default for an external variable.
+
+        Per-execution bindings passed to ``PreparedQuery.execute`` /
+        ``Session.execute`` override these.  ``name`` is without the
+        leading ``$``.
+        """
+        self.variables[name.lstrip("$")] = value
+
+    def unset_variable(self, name: str) -> None:
+        self.variables.pop(name.lstrip("$"), None)
+
+    # ------------------------------------------------------------- queries
+    def prepare(self, query: str) -> PreparedQuery:
+        """Compile a query (through the shared plan cache) into a
+        :class:`PreparedQuery` that can be executed many times with
+        different external-variable bindings."""
+        entry, hit = self.database.compile_cached(
+            query, self.use_optimizer, self.use_join_recognition
+        )
+        if hit:
+            self.stats.plan_cache_hits += 1
+        else:
+            self.stats.plan_cache_misses += 1
+            self.stats.compile_seconds += entry.compile_seconds
+        return PreparedQuery(self, entry, from_cache=hit)
+
+    def execute(self, query: str, bindings: dict | None = None, trace: bool = False):
+        """One-shot convenience: prepare (cache-backed) and execute."""
+        return self.prepare(query).execute(bindings, trace=trace)
+
+    def explain(self, query: str):
+        """Expose every compilation stage of a query (demo hooks).
+
+        The optimized plan and its stats come from the (cache-backed,
+        session-stats-tracked) compiled entry; only the unoptimized
+        stage — which the cache intentionally does not keep — is
+        recompiled.
+        """
+        from repro.compiler.loop_lifting import Compiler
+        from repro.engine import ExplainReport
+
+        entry = self.prepare(query)._entry
+        compiler = Compiler(
+            self.database.documents,
+            self.database.default_document,
+            use_join_recognition=self.use_join_recognition,
+        )
+        unoptimized = compiler.compile_module(entry.core)
+        return ExplainReport(
+            query=query,
+            module=entry.module,
+            core=entry.core,
+            plan=unoptimized,
+            optimized=entry.plan,
+            stats=entry.stats,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _merged_bindings(
+        self, entry, bindings: dict | None
+    ) -> dict[str, object]:
+        """Session defaults overlaid with per-execution bindings, checked
+        against the query's declared external variables."""
+        declared = {v.name for v in entry.external_vars}
+        merged = {
+            name: value
+            for name, value in self.variables.items()
+            if name in declared
+        }
+        for name, value in (bindings or {}).items():
+            name = name.lstrip("$")
+            if name not in declared:
+                raise PathfinderError(
+                    f"query declares no external variable ${name} "
+                    f"(declared: {sorted(declared) or 'none'})"
+                )
+            merged[name] = value
+        return merged

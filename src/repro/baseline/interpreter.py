@@ -515,7 +515,6 @@ class Interpreter:
         return self._filter(self.eval(e.base, env), e.predicates, env)
 
     def _axis_step(self, ctx: list, step: ast.Step, env) -> list:
-        arena = self.arena
         results: list = []
         seen: set = set()
         for item in ctx:

@@ -12,7 +12,7 @@ from repro.errors import NotSupportedError, StaticError
 from repro.relational import algebra as alg
 from repro.relational.algebra import col, const
 from repro.xquery import ast
-from repro.compiler.loop_lifting import CTX_ITEM, CTX_LAST, CTX_POSITION
+from repro.compiler.loop_lifting import CTX_LAST, CTX_POSITION
 
 
 def compile_builtin(comp, e: ast.FunctionCall, loop, env) -> alg.Op:

@@ -22,18 +22,17 @@ from __future__ import annotations
 
 import itertools
 
-from repro.encoding.axes import Axis, NodeTest
+from repro.encoding.axes import Axis
 from repro.errors import NotSupportedError, StaticError
 from repro.relational import algebra as alg
 from repro.relational.algebra import col, const
 from repro.relational.items import (
-    K_ATTR,
     K_BOOL,
     K_DBL,
     K_INT,
-    K_NODE,
     K_STR,
     K_UNTYPED,
+    PARAM_TYPE_KINDS,
 )
 from repro.encoding.arena import NK_COMMENT, NK_DOC, NK_ELEM, NK_PI, NK_TEXT
 from repro.xquery import ast
@@ -69,6 +68,7 @@ class Compiler:
         self.use_join_recognition = use_join_recognition
         self._fresh_counter = itertools.count()
         self._functions: dict[str, ast.FunctionDecl] = {}
+        self._external_vars: tuple[ast.ExternalVar, ...] = ()
         self._inline_depth = 0
         # variables statically known to hold xs:untypedAtomic/xs:string
         # sequences (feeds the join-recognition soundness gate)
@@ -76,7 +76,13 @@ class Compiler:
 
     # ----------------------------------------------------------------- API
     def compile_module(self, module: ast.Module) -> alg.Op:
-        """Compile a desugared module body under the unit loop (iter = 1)."""
+        """Compile a desugared module body under the unit loop (iter = 1).
+
+        External variable declarations (``declare variable $x external``)
+        become :class:`~repro.relational.algebra.ParamTable` leaves bound
+        in the top-level environment: the emitted plan contains no value
+        for them, so one compiled plan serves every parameter binding.
+        """
         self._functions = {}
         for f in module.functions:
             key = (f.name, len(f.params))
@@ -84,7 +90,24 @@ class Compiler:
                 raise StaticError(f"duplicate function {f.name}/{len(f.params)}")
             self._functions[key] = f
         loop = alg.Lit(("iter",), ((1,),))
-        return self.compile(module.body, loop, {})
+        env: dict[str, alg.Op] = {}
+        self._external_vars = tuple(module.external_vars)
+        for var in module.external_vars:
+            if var.type_name is not None and var.type_name not in PARAM_TYPE_KINDS:
+                raise NotSupportedError(
+                    f"external variable ${var.name}: type {var.type_name} is "
+                    f"not bindable (supported: {', '.join(sorted(PARAM_TYPE_KINDS))})"
+                )
+            env[var.name] = self._param_seq(var, loop)
+        return self.compile(module.body, loop, env)
+
+    def _param_seq(self, var: ast.ExternalVar, loop: alg.Op) -> alg.Op:
+        """An external variable's sequence plan in an arbitrary scope.
+
+        ``ParamTable`` is a pure leaf, so the binding is loop-invariant by
+        construction and can be replicated into any loop directly."""
+        param = alg.ParamTable(var.name, var.type_name)
+        return self._q3(alg.Cross(loop, param))
 
     # ------------------------------------------------------------- helpers
     def fresh(self, base: str) -> str:
@@ -806,10 +829,16 @@ class Compiler:
                 f"recursion in {f.name} exceeds the compiler's inline depth "
                 f"({_MAX_INLINE_DEPTH}); use the baseline interpreter"
             )
+        # global (external) variables are statically visible in function
+        # bodies; being loop-invariant leaves they rebind in any scope.
+        # Function parameters shadow globals of the same name.
         call_env = {
-            param: self.compile(arg, loop, env)
-            for param, arg in zip(f.params, args)
+            var.name: self._param_seq(var, loop) for var in self._external_vars
         }
+        call_env.update(
+            (param, self.compile(arg, loop, env))
+            for param, arg in zip(f.params, args)
+        )
         self._inline_depth += 1
         try:
             return self.compile(f.body, loop, call_env)

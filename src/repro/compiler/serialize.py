@@ -51,19 +51,24 @@ def ordered_items(table: Table) -> ItemColumn:
     return table.item("item").take(order)
 
 
-def result_values(table: Table, arena: NodeArena) -> list:
-    """Decode the result to Python values (nodes become NodeHandles)."""
+def iter_result_values(table: Table, arena: NodeArena):
+    """Yield the result as Python values in sequence order (nodes become
+    NodeHandles) — the streaming core behind ``result_values`` and the
+    ``QueryResult`` iterator protocol."""
     items = ordered_items(table)
-    out: list = []
     for kind, payload in zip(items.kinds, items.data):
         kind, payload = int(kind), int(payload)
         if kind == K_NODE:
-            out.append(NodeHandle(arena, payload))
+            yield NodeHandle(arena, payload)
         elif kind == K_ATTR:
-            out.append(NodeHandle(arena, payload, is_attribute=True))
+            yield NodeHandle(arena, payload, is_attribute=True)
         else:
-            out.append(it.decode_item(kind, payload, arena.pool))
-    return out
+            yield it.decode_item(kind, payload, arena.pool)
+
+
+def result_values(table: Table, arena: NodeArena) -> list:
+    """Decode the result to Python values (nodes become NodeHandles)."""
+    return list(iter_result_values(table, arena))
 
 
 def serialize_result(table: Table, arena: NodeArena) -> str:

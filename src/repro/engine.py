@@ -1,6 +1,22 @@
-"""The Pathfinder engine: the public, end-to-end API.
+"""The legacy monolithic engine API, now a thin shim.
 
-Usage::
+.. deprecated::
+    :class:`PathfinderEngine` is kept for backward compatibility.  New
+    code should use the layered API instead::
+
+        import repro
+
+        session = repro.connect()                       # Database + Session
+        session.database.load_document("doc.xml", xml)
+        prepared = session.prepare(query)               # compile once
+        result = prepared.execute({"x": 42})            # bind + run many times
+
+    The shim delegates everything to a private
+    :class:`~repro.api.database.Database` and one
+    :class:`~repro.api.session.Session` over it, so ``execute()`` calls
+    transparently benefit from the compile-once plan cache.
+
+Usage (legacy)::
 
     from repro import PathfinderEngine
 
@@ -8,37 +24,24 @@ Usage::
     engine.load_document("auction.xml", xml_text, default=True)
     result = engine.execute('for $p in /site/people/person return $p/name')
     print(result.serialize())
-
-The engine owns the node arena (all loaded documents plus any nodes the
-queries construct), compiles queries through the loop-lifting compiler,
-optionally optimizes the plan, evaluates it on the column-store evaluator
-and serialises the result.  ``explain()`` exposes every compilation stage
-(the demonstrator's "look under the hood" hooks, paper Section 4).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.compiler.loop_lifting import Compiler
-from repro.compiler.serialize import result_values, serialize_result
-from repro.encoding.arena import NodeArena
-from repro.encoding.shred import shred_text
-from repro.encoding.storage import StorageReport, measure_storage
-from repro.errors import PathfinderError
+from repro.api.database import Database
 from repro.relational import algebra as alg
 from repro.relational.dot import to_ascii, to_dot
-from repro.relational.evaluate import EvalContext, evaluate
-from repro.relational.optimizer import OptimizerStats, optimize
+from repro.relational.optimizer import OptimizerStats
 from repro.relational.table import Table
-from repro.xquery.core import desugar_module
-from repro.xquery.parser import parse_query
 
 
 @dataclass
 class QueryResult:
-    """The outcome of one query execution."""
+    """The outcome of one query execution (legacy shape: eagerly carries
+    the engine; see :class:`repro.api.prepared.QueryResult` for the lazy,
+    iterable result the layered API returns)."""
 
     table: Table
     engine: "PathfinderEngine"
@@ -49,10 +52,14 @@ class QueryResult:
 
     def serialize(self) -> str:
         """Result sequence as XML/text (the paper's post-processor)."""
+        from repro.compiler.serialize import serialize_result
+
         return serialize_result(self.table, self.engine.arena)
 
     def values(self) -> list:
         """Result sequence as Python values (nodes become NodeHandles)."""
+        from repro.compiler.serialize import result_values
+
         return result_values(self.table, self.engine.arena)
 
 
@@ -93,82 +100,107 @@ class ExplainReport:
 
 
 class PathfinderEngine:
-    """A Pathfinder instance: documents + compiler + relational back-end."""
+    """Deprecation shim: one Database + one Session behind the old API."""
 
-    def __init__(self, use_staircase: bool = True, use_optimizer: bool = True):
-        self.arena = NodeArena()
-        self.documents: dict[str, int] = {}
-        self.default_document: str | None = None
-        self.use_staircase = use_staircase
-        self.use_optimizer = use_optimizer
-        self._xml_bytes = 0
+    def __init__(
+        self,
+        use_staircase: bool = True,
+        use_optimizer: bool = True,
+        use_join_recognition: bool = True,
+        database: Database | None = None,
+    ):
+        self._db = database if database is not None else Database()
+        self._session = self._db.connect(
+            use_staircase=use_staircase,
+            use_optimizer=use_optimizer,
+            use_join_recognition=use_join_recognition,
+        )
+
+    # ---------------------------------------------------------- delegation
+    @property
+    def database(self) -> Database:
+        """The underlying Database (layered API escape hatch)."""
+        return self._db
+
+    @property
+    def session(self):
+        """The underlying Session (layered API escape hatch)."""
+        return self._session
+
+    @property
+    def arena(self):
+        return self._db.arena
+
+    @property
+    def documents(self) -> dict[str, int]:
+        return self._db.documents
+
+    @property
+    def default_document(self) -> str | None:
+        return self._db.default_document
+
+    @property
+    def use_staircase(self) -> bool:
+        return self._session.use_staircase
+
+    @use_staircase.setter
+    def use_staircase(self, value: bool) -> None:
+        self._session.use_staircase = value
+
+    @property
+    def use_optimizer(self) -> bool:
+        return self._session.use_optimizer
+
+    @use_optimizer.setter
+    def use_optimizer(self, value: bool) -> None:
+        self._session.use_optimizer = value
 
     # ------------------------------------------------------------ documents
     def load_document(self, uri: str, xml_text: str, default: bool = False) -> int:
         """Parse, shred and register a document; returns its node count."""
-        if uri in self.documents:
-            raise PathfinderError(f"document {uri!r} already loaded")
-        before = self.arena.num_nodes
-        root = shred_text(self.arena, xml_text)
-        self.documents[uri] = root
-        self._xml_bytes += len(xml_text.encode("utf-8"))
-        if default or self.default_document is None:
-            self.default_document = uri
-        return self.arena.num_nodes - before
+        return self._db.load_document(uri, xml_text, default=default)
 
-    def storage_report(self) -> StorageReport:
+    def storage_report(self):
         """Byte-level storage accounting (Section 3.1 experiment)."""
-        return measure_storage(self.arena, self._xml_bytes)
+        return self._db.storage_report()
 
     # -------------------------------------------------------------- queries
     def compile(self, query: str) -> tuple[alg.Op, OptimizerStats]:
-        """Compile (and optionally optimize) a query to an algebra plan."""
-        module = desugar_module(parse_query(query))
-        compiler = Compiler(self.documents, self.default_document)
-        plan = compiler.compile_module(module)
-        stats = OptimizerStats()
-        if self.use_optimizer:
-            plan = optimize(plan, stats)
-        else:
-            stats.ops_before = stats.ops_after = alg.op_count(plan)
-        return plan, stats
+        """Compile (and optionally optimize) a query to an algebra plan.
+
+        Always a fresh front-end run, never a cache lookup — the legacy
+        semantics that compile-time benchmarks rely on.  ``execute()`` is
+        the plan-cache-backed path.
+        """
+        entry = self._db.compile_query(
+            query,
+            self._session.use_optimizer,
+            self._session.use_join_recognition,
+        )
+        return entry.plan, entry.stats
 
     def execute(self, query: str, trace: bool = False) -> QueryResult:
-        """Compile and run a query, returning a :class:`QueryResult`."""
+        """Compile (plan-cache backed) and run a query.
+
+        ``compile_seconds`` keeps its legacy per-call meaning — the time
+        *this* call spent obtaining the plan, which is near zero on a
+        plan-cache hit.
+        """
+        import time
+
         t0 = time.perf_counter()
-        plan, _ = self.compile(query)
+        prepared = self._session.prepare(query)
         t1 = time.perf_counter()
-        trace_map: dict | None = {} if trace else None
-        ctx = EvalContext(
-            self.arena,
-            documents=self.documents,
-            trace=trace_map,
-            use_staircase=self.use_staircase,
-        )
-        table = evaluate(plan, ctx)
-        t2 = time.perf_counter()
+        result = prepared.execute(trace=trace)
         return QueryResult(
-            table=table,
+            table=result.table,
             engine=self,
-            plan=plan,
+            plan=result.plan,
             compile_seconds=t1 - t0,
-            execute_seconds=t2 - t1,
-            trace=trace_map,
+            execute_seconds=result.execute_seconds,
+            trace=result.trace,
         )
 
     def explain(self, query: str) -> ExplainReport:
         """Expose every compilation stage for a query (demo hooks)."""
-        module = parse_query(query)
-        core = desugar_module(module)
-        compiler = Compiler(self.documents, self.default_document)
-        plan = compiler.compile_module(core)
-        stats = OptimizerStats()
-        optimized = optimize(plan, stats) if self.use_optimizer else plan
-        return ExplainReport(
-            query=query,
-            module=module,
-            core=core,
-            plan=plan,
-            optimized=optimized,
-            stats=stats,
-        )
+        return self._session.explain(query)

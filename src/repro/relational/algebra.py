@@ -20,7 +20,7 @@ paper exploits:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Union as TUnion
+from typing import Iterator
 
 from repro.encoding.axes import Axis, NodeTest
 
@@ -446,6 +446,32 @@ class DocRoot(Op):
 
     def _params(self):
         return (self.uri,)
+
+
+@dataclass(frozen=True, eq=False)
+class ParamTable(Op):
+    """An external-variable parameter table (``declare variable $x
+    external``).
+
+    A leaf whose contents are *not* known at compile time: at evaluation
+    the binding supplied through ``EvalContext.params[name]`` expands to
+    one row ``(pos, item)`` per item of the bound sequence (dense ``pos``
+    1..n).  This is what makes a compiled plan reusable across
+    executions — the plan cache stores the DAG once, and each execution
+    resolves the parameter table against its own bindings.  When
+    ``type_name`` is set (``declare variable $x as xs:integer external``)
+    the binding is type-checked at bind time.
+    """
+
+    name: str
+    type_name: str | None = None
+
+    def label(self) -> str:
+        suffix = f" as {self.type_name}" if self.type_name else ""
+        return f"param ${self.name}{suffix}"
+
+    def _params(self):
+        return (self.name, self.type_name)
 
 
 def _fmt(operand: Operand) -> str:

@@ -20,7 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.encoding.arena import NodeArena
-from repro.errors import AlgebraError, DynamicError
+from repro.errors import AlgebraError, DynamicError, TypeError_
 from repro.relational import algebra as alg
 from repro.relational import items as it
 from repro.relational.items import ItemColumn, K_ATTR, K_BOOL, K_DBL, K_INT, K_NODE, K_STR, K_UNTYPED
@@ -36,13 +36,20 @@ from repro.relational.table import Column, Table
 
 @dataclass
 class EvalContext:
-    """Everything an algebra plan needs at runtime."""
+    """Everything an algebra plan needs at runtime.
+
+    ``params`` carries the external-variable bindings of this execution
+    (prepared-query parameters): name → Python scalar or sequence.  The
+    compiled plan references them through ``ParamTable`` leaves, so the
+    same plan DAG can be evaluated many times with different bindings.
+    """
 
     arena: NodeArena
     documents: dict[str, int] = field(default_factory=dict)
     trace: dict[int, Table] | None = None
     use_staircase: bool = True
     step_counter: list[int] = field(default_factory=lambda: [0])
+    params: dict[str, object] = field(default_factory=dict)
 
     @property
     def pool(self):
@@ -475,6 +482,33 @@ def _eval_genrange(node: alg.GenRange, inputs, ctx) -> Table:
     )
 
 
+def _eval_param(node: alg.ParamTable, inputs, ctx) -> Table:
+    if node.name not in ctx.params:
+        raise DynamicError(
+            f"no binding for external variable ${node.name}",
+            code="err:XPDY0002",
+        )
+    value = ctx.params[node.name]
+    if isinstance(value, (list, tuple)):
+        values = list(value)
+    else:
+        values = [value]
+    col = ItemColumn.from_values(values, ctx.pool)
+    if node.type_name is not None:
+        # unknown type names are rejected at compile time (compile_module)
+        allowed = it.PARAM_TYPE_KINDS[node.type_name]
+        bad = ~np.isin(col.kinds, np.asarray(allowed, dtype=np.uint8))
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            raise TypeError_(
+                f"binding for ${node.name} does not match declared type "
+                f"{node.type_name}: item {i + 1} is {values[i]!r}",
+                code="err:XPTY0004",
+            )
+    pos = np.arange(1, len(values) + 1, dtype=np.int64)
+    return Table({"pos": pos, "item": col})
+
+
 def _eval_docroot(node: alg.DocRoot, inputs, ctx) -> Table:
     row = ctx.documents.get(node.uri)
     if row is None:
@@ -508,6 +542,7 @@ _HANDLERS: dict[type, Callable] = {
     alg.AttrConstr: _eval_attr,
     alg.DocRoot: _eval_docroot,
     alg.GenRange: _eval_genrange,
+    alg.ParamTable: _eval_param,
 }
 
 

@@ -55,6 +55,21 @@ KIND_NAMES = {
     K_QNAME: "xs:QName",
 }
 
+#: declared external-variable type → acceptable item kinds at bind time
+#: (the compiler rejects declarations outside this table statically)
+PARAM_TYPE_KINDS: dict[str, tuple[int, ...]] = {
+    "xs:integer": (K_INT,),
+    "xs:int": (K_INT,),
+    "xs:long": (K_INT,),
+    # numeric promotion: an integer binding satisfies a double declaration
+    "xs:double": (K_DBL, K_INT),
+    "xs:decimal": (K_DBL, K_INT),
+    "xs:float": (K_DBL, K_INT),
+    "xs:string": (K_STR,),
+    "xs:untypedAtomic": (K_STR, K_UNTYPED),
+    "xs:boolean": (K_BOOL,),
+}
+
 #: kinds whose payload is a pool surrogate
 _POOLED = (K_STR, K_UNTYPED, K_QNAME)
 #: kinds that participate in numeric arithmetic without casting
@@ -230,7 +245,12 @@ class ItemColumn:
                 data[i] = int(v)
             elif isinstance(v, int):
                 kinds[i] = K_INT
-                data[i] = v
+                try:
+                    data[i] = v
+                except OverflowError:
+                    raise TypeError_(
+                        f"integer {v} exceeds the engine's 64-bit item range"
+                    ) from None
             elif isinstance(v, float):
                 kinds[i] = K_DBL
                 data[i] = _bits(np.float64(v))

@@ -21,7 +21,7 @@ algebra (π never removes duplicates, ∪ is disjoint, all joins equi-joins):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import AlgebraError
 from repro.relational import algebra as alg
@@ -71,6 +71,8 @@ def _schema(op: alg.Op, memo) -> tuple[str, ...]:
         return ("iter", "item")
     if isinstance(op, (alg.DocRoot, alg.GenRange)):
         return ("iter", "pos", "item")
+    if isinstance(op, alg.ParamTable):
+        return ("pos", "item")
     raise AlgebraError(f"cannot infer schema of {type(op).__name__}")
 
 
@@ -115,7 +117,7 @@ def _item_cols(op: alg.Op, memo) -> frozenset:
         return frozenset({op.item_col})
     if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr)):
         return frozenset({"item"})
-    if isinstance(op, (alg.DocRoot, alg.GenRange)):
+    if isinstance(op, (alg.DocRoot, alg.GenRange, alg.ParamTable)):
         return frozenset({"item"})
     return frozenset()
 
@@ -221,7 +223,7 @@ def _with_children(node: alg.Op, children: tuple[alg.Op, ...]) -> alg.Op:
         return alg.AttrConstr(children[0], children[1])
     if isinstance(node, alg.GenRange):
         return alg.GenRange(children[0], node.lo_col, node.hi_col)
-    if isinstance(node, (alg.Lit, alg.DocRoot)):
+    if isinstance(node, (alg.Lit, alg.DocRoot, alg.ParamTable)):
         return node
     raise AlgebraError(f"cannot clone {type(node).__name__}")
 
@@ -447,7 +449,8 @@ def _operand_cols(*operands) -> frozenset:
 
 def _prune_rewrite(op, required, rebuilt, schema_memo):
     # children were already pruned against their accumulated requirements
-    rec = lambda child, req: rebuilt[id(child)]
+    def rec(child, req):
+        return rebuilt[id(child)]
 
     if isinstance(op, alg.Lit):
         keep = tuple(c for c in op.schema if c in required) or op.schema[:1]
@@ -553,7 +556,10 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
         child = rec(op.child, need)
         return alg.GenRange(child, op.lo_col, op.hi_col)
 
-    if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr, alg.DocRoot)):
+    if isinstance(
+        op,
+        (alg.ElemConstr, alg.TextConstr, alg.AttrConstr, alg.DocRoot, alg.ParamTable),
+    ):
         # children have fixed small schemas; just recurse with them
         children = tuple(
             rec(c, frozenset(schema_of(c, schema_memo))) for c in op.children

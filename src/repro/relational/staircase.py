@@ -32,12 +32,11 @@ from repro.encoding.arena import (
     NK_TEXT,
     NodeArena,
 )
-from repro.encoding.axes import Axis, NodeTest, axis_region_holds
+from repro.encoding.axes import Axis, NodeTest
 from repro.errors import DynamicError
 from repro.relational.kernels import (
     group_starts,
     multi_arange,
-    repeat_index,
     segmented_cummax,
 )
 

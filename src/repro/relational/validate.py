@@ -163,4 +163,9 @@ def _check(node: alg.Op, memo) -> None:
     if isinstance(node, alg.DocRoot):
         return
 
+    if isinstance(node, alg.ParamTable):
+        if not node.name:
+            raise AlgebraError("parameter table without a variable name")
+        return
+
     raise AlgebraError(f"unknown operator {type(node).__name__}")

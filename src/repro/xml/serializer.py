@@ -8,7 +8,7 @@ half lives in :mod:`repro.compiler.serialize`.
 
 from __future__ import annotations
 
-from repro.encoding.arena import NK_COMMENT, NK_DOC, NK_ELEM, NK_PI, NK_TEXT, NodeArena
+from repro.encoding.arena import NK_COMMENT, NK_DOC, NK_PI, NK_TEXT, NodeArena
 from repro.xml.escape import escape_attr, escape_text
 from repro.xml.parser import XMLComment, XMLElement, XMLPi, XMLText
 

@@ -325,8 +325,23 @@ class FunctionDecl:
 
 
 @dataclass
+class ExternalVar:
+    """``declare variable $name [as type] external;`` — a query parameter
+    whose value is supplied at execution time (prepared-query binding).
+
+    ``type_name`` is the declared atomic type (``xs:integer``, ...) or
+    None when the declaration is untyped.
+    """
+
+    name: str
+    type_name: Optional[str] = None
+
+
+@dataclass
 class Module:
-    """A query module: function declarations plus the main expression."""
+    """A query module: function declarations, external variable
+    declarations (query parameters) and the main expression."""
 
     functions: list[FunctionDecl]
     body: Expr
+    external_vars: list[ExternalVar] = field(default_factory=list)

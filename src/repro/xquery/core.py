@@ -169,7 +169,9 @@ def desugar_module(module: ast.Module) -> ast.Module:
         ast.FunctionDecl(f.name, list(f.params), desugar(f.body))
         for f in module.functions
     ]
-    return ast.Module(functions, desugar(module.body))
+    return ast.Module(
+        functions, desugar(module.body), list(module.external_vars)
+    )
 
 
 def desugar(expr: ast.Expr) -> ast.Expr:

@@ -90,6 +90,7 @@ class _Parser:
     def parse_module(self) -> ast.Module:
         functions: list[ast.FunctionDecl] = []
         global_lets: list[ast.LetClause] = []
+        external_vars: list[ast.ExternalVar] = []
         while self.peek().is_name("declare"):
             kind = self.peek(1)
             if kind.is_name("function"):
@@ -97,8 +98,21 @@ class _Parser:
             elif kind.is_name("variable"):
                 self.next(), self.next()
                 name = self.var_name()
+                declared = {v.name for v in external_vars} | {
+                    c.var for c in global_lets
+                }
+                if name in declared:
+                    raise self.error(
+                        f"duplicate global variable declaration ${name}"
+                    )
+                type_name = None
                 if self.accept_name("as"):
-                    self._parse_seq_type()
+                    seq_type = self._parse_seq_type()
+                    type_name = seq_type.kind
+                if self.accept_name("external"):
+                    external_vars.append(ast.ExternalVar(name, type_name))
+                    self.expect_symbol(";")
+                    continue
                 self.expect_symbol(":=")
                 global_lets.append(ast.LetClause(name, self.parse_expr_single()))
                 self.expect_symbol(";")
@@ -118,7 +132,7 @@ class _Parser:
             raise self.error(f"unexpected trailing input {tok.value!r}", tok)
         if global_lets:
             body = ast.FLWOR(list(global_lets), None, [], body)
-        return ast.Module(functions, body)
+        return ast.Module(functions, body, external_vars)
 
     def _parse_function_decl(self) -> ast.FunctionDecl:
         self.expect_name("declare")

@@ -1,6 +1,5 @@
 """Unit tests for the algebra operators and the DAG evaluator."""
 
-import numpy as np
 import pytest
 
 from repro.encoding.arena import NodeArena
@@ -10,7 +9,6 @@ from repro.errors import AlgebraError, DynamicError
 from repro.relational import algebra as alg
 from repro.relational.algebra import col, const
 from repro.relational.evaluate import EvalContext, evaluate
-from repro.relational.table import Table
 
 
 def ctx():

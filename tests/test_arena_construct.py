@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.encoding.arena import NK_ELEM, NK_TEXT, NodeArena
+from repro.encoding.arena import NK_TEXT, NodeArena
 from repro.encoding.shred import shred_text
 from repro.xml.serializer import serialize_node
 

@@ -8,8 +8,6 @@ row construction, DNF handling and each report function.
 import io
 from contextlib import redirect_stdout
 
-import pytest
-
 from benchmarks import harness, report
 
 
@@ -64,6 +62,18 @@ class TestReports:
     def test_table3_single_scale(self):
         out = self._run(report.report_table3, scales=(0.0005,), timeout=10.0)
         assert "Q20" in out and "PF@0.0005" in out
+
+    def test_prepared_report(self):
+        from benchmarks.bench_prepared import report_prepared
+
+        out = self._run(report_prepared, scale=0.0005, reps=2)
+        assert "speedup" in out and "Q8" in out
+
+    def test_prepared_rows_show_amortization(self):
+        from benchmarks.bench_prepared import run_prepared_bench
+
+        rows = run_prepared_bench(scale=0.0005, reps=2, queries=("Q1",))
+        assert rows[0]["cold_seconds"] > rows[0]["prepared_seconds"]
 
     def test_main_dispatch_unknown(self):
         assert report.main(["report.py", "nonsense"]) == 1

@@ -14,7 +14,6 @@ from repro.relational.items import (
     K_BOOL,
     K_DBL,
     K_INT,
-    K_NODE,
     K_STR,
     K_UNTYPED,
 )

@@ -1,8 +1,5 @@
 """Tests for the peephole optimizer: semantics preservation + reductions."""
 
-import numpy as np
-import pytest
-
 from repro.encoding.arena import NodeArena
 from repro.relational import algebra as alg
 from repro.relational.algebra import col, const
@@ -101,7 +98,7 @@ class TestRewrites:
 
     def test_item_select_not_folded_at_compile_time(self):
         s = alg.Select(LIT, "eq", col("item"), const(10))
-        out = optimize(s)
+        optimize(s)
         same_result(s)
 
     def test_union_of_literals_folds(self):

@@ -6,7 +6,6 @@ result.  This catches rewrite bugs that hand-picked cases miss — the
 ``True == 1`` CSE collision was exactly this kind of bug.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.encoding.arena import NodeArena

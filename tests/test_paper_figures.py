@@ -9,7 +9,6 @@
 * Table 2 — every construct of the supported dialect compiles and runs.
 """
 
-import numpy as np
 import pytest
 
 from repro import PathfinderEngine

@@ -5,7 +5,7 @@ import pytest
 from repro.encoding.axes import Axis
 from repro.errors import XQuerySyntaxError
 from repro.xquery import ast
-from repro.xquery.core import desugar, desugar_module, free_vars
+from repro.xquery.core import desugar, free_vars
 from repro.xquery.parser import parse_query
 
 

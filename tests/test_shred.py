@@ -1,7 +1,6 @@
 """Tests for the XPath Accelerator encoding (shredding invariants)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.encoding.arena import NK_DOC, NK_ELEM, NK_TEXT, NodeArena
@@ -97,7 +96,7 @@ class TestShredding:
 class TestStringValue:
     def test_text_node(self):
         arena = NodeArena()
-        doc = shred_text(arena, "<a>hello</a>")
+        shred_text(arena, "<a>hello</a>")
         texts = np.nonzero(arena.kind == NK_TEXT)[0]
         sid = arena.string_value_id(int(texts[0]))
         assert arena.pool.value(sid) == "hello"

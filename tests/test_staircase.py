@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.encoding.arena import NK_ELEM, NodeArena
+from repro.encoding.arena import NodeArena
 from repro.encoding.axes import Axis, NodeTest, axis_region_holds, element, text
 from repro.encoding.shred import shred_text, shred_tree
 from repro.relational.staircase import naive_step, staircase_step

@@ -43,7 +43,8 @@ class TestGenerator:
         assert root.name == "site"
 
     def test_structure(self, engine):
-        run = lambda q: engine.execute(q).serialize()
+        def run(q):
+            return engine.execute(q).serialize()
         stats = document_stats(0.001)
         assert run("count(/site/people/person)") == str(stats.people)
         assert run("count(//open_auction)") == str(stats.open_auctions)
