@@ -1,22 +1,59 @@
-"""E6 — the peephole-optimizer ablation.
+"""E6 — the rewrite-pass optimizer ablation.
 
-The paper: loop-lifted plans are large (Q8 ≈ 120 operators before
-optimization) and peephole rewriting reduces them significantly.  These
-benchmarks measure plan sizes before/after and execution with the
-optimizer on vs off.
+Two experiments:
+
+* **plan sizes** (the paper's E6): loop-lifted plans are large (Q8 ≈ 120
+  operators before optimization) and rewriting reduces them
+  significantly; measured before/after per query.
+* **cost-aware pass ablation**: execution time of the XMark join queries
+  with the full pass pipeline versus selected passes disabled —
+  ``python benchmarks/bench_optimizer.py [scale]`` prints the table.
+  Selection pushdown is the headline: on the theta-join queries Q11/Q12
+  it removes the boolean-selection machinery (σ/∪/×/\\ over every tuple
+  iteration) from the hot path.
+
+Methodology for the ablation: plans are compiled once per configuration;
+every timed run evaluates against a freshly shredded document (node
+construction appends to the arena, so reusing one arena would slow later
+runs and bias whichever configuration runs last); numpy is warmed up
+before measuring; the best of ``reps`` runs is reported.
 """
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 import pytest
 
 from repro import PathfinderEngine
 from repro.compiler.loop_lifting import Compiler
 from repro.relational import algebra as alg
-from repro.relational.optimizer import OptimizerStats, optimize
+from repro.relational.evaluate import EvalContext, evaluate
+from repro.relational.optimizer import (
+    CardinalityEstimator,
+    OptimizerStats,
+    optimize,
+)
 from repro.xmark import XMARK_QUERIES, generate_document
 from repro.xquery.core import desugar_module
 from repro.xquery.parser import parse_query
 
 QUERIES = ["Q1", "Q5", "Q8", "Q10", "Q19", "Q20"]
+
+#: the XMark join queries of the ablation (equi- and theta-joins)
+JOIN_QUERIES = ("Q4", "Q8", "Q11", "Q12")
+
+#: the cost-aware passes added on top of the structural ones
+COST_AWARE = frozenset(
+    {"fuse_select", "pushdown", "join_recognition", "distinct_elim", "join_order"}
+)
+
+DEFAULT_SCALE = 0.02
+DEFAULT_REPS = 3
 
 
 def _plan(engines, name):
@@ -50,6 +87,19 @@ def test_execution_with_and_without(benchmark, optimized):
     )
 
 
+@pytest.mark.parametrize("pushdown", [True, False], ids=["pushdown-on", "pushdown-off"])
+def test_execution_with_and_without_pushdown(benchmark, pushdown):
+    text = generate_document(0.002)
+    disabled = frozenset() if pushdown else frozenset({"pushdown"})
+    engine = PathfinderEngine(disabled_passes=disabled)
+    engine.load_document("auction.xml", text)
+    benchmark.group = "optimizer-exec-Q11"
+    benchmark.name = "pushdown-on" if pushdown else "pushdown-off"
+    benchmark.pedantic(
+        engine.execute, args=(XMARK_QUERIES["Q11"],), rounds=3, iterations=1
+    )
+
+
 def test_q8_plan_size_matches_paper_ballpark(engines_small):
     """Paper: 'XMark query Q8, prior to optimization, compiles to a plan
     DAG of 120 operators'.  Our compiler is in the same regime."""
@@ -59,3 +109,73 @@ def test_q8_plan_size_matches_paper_ballpark(engines_small):
     optimize(plan, stats)
     assert 80 <= before <= 400
     assert stats.ops_after < before
+
+
+# --------------------------------------------------------------------------
+# script mode: the pushdown / cost-aware ablation table
+# --------------------------------------------------------------------------
+def _timed_eval(plan, text: str, reps: int) -> float:
+    """Best-of-``reps`` evaluation time against a fresh document."""
+    best = float("inf")
+    for _ in range(reps):
+        engine = PathfinderEngine()
+        engine.load_document("auction.xml", text)
+        ctx = EvalContext(engine.arena, engine.documents)
+        t0 = time.perf_counter()
+        evaluate(plan, ctx)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_ablation(scale: float = DEFAULT_SCALE, reps: int = DEFAULT_REPS) -> list[dict]:
+    """Time the join queries with full, pushdown-less and structural-only
+    pass pipelines; returns one record per query (also printed)."""
+    text = generate_document(scale)
+    engine = PathfinderEngine()
+    engine.load_document("auction.xml", text)
+    estimator = CardinalityEstimator.from_database(engine.arena, engine.documents)
+    engine.execute("count(//item)")  # numpy warm-up
+
+    print(f"\n=== cost-aware pass ablation (XMark scale {scale}) ===")
+    print(
+        f"{'query':>6} {'all passes':>12} {'no pushdown':>12} "
+        f"{'structural':>12} {'pushdown x':>11} {'cost-aware x':>13}"
+    )
+    records = []
+    for name in JOIN_QUERIES:
+        module = desugar_module(parse_query(XMARK_QUERIES[name]))
+        plan = Compiler(engine.documents, engine.default_document).compile_module(module)
+        full = optimize(plan, estimator=estimator)
+        no_push = optimize(plan, estimator=estimator, disabled={"pushdown"})
+        structural = optimize(plan, estimator=estimator, disabled=COST_AWARE)
+        t_full = _timed_eval(full, text, reps)
+        t_nopush = _timed_eval(no_push, text, reps)
+        t_struct = _timed_eval(structural, text, reps)
+        rec = {
+            "query": name,
+            "full": t_full,
+            "no_pushdown": t_nopush,
+            "structural": t_struct,
+        }
+        records.append(rec)
+        print(
+            f"{name:>6} {t_full * 1000:>10.1f}ms {t_nopush * 1000:>10.1f}ms "
+            f"{t_struct * 1000:>10.1f}ms {t_nopush / t_full:>10.2f}x "
+            f"{t_struct / t_full:>12.2f}x"
+        )
+    print(
+        "(pushdown x / cost-aware x = slowdown when disabling pushdown / "
+        "all cost-aware passes)"
+    )
+    return records
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[1]) if len(argv) > 1 else DEFAULT_SCALE
+    reps = int(argv[2]) if len(argv) > 2 else DEFAULT_REPS
+    run_ablation(scale, reps)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -123,7 +123,7 @@ def report_staircase():
         )
 
 
-def report_optimizer():
+def report_optimizer(ablation_scale=0.008, ablation_reps=3):
     from repro.compiler.loop_lifting import Compiler
     from repro.relational import algebra as alg
     from repro.relational.optimizer import OptimizerStats, optimize
@@ -145,6 +145,11 @@ def report_optimizer():
             f"{name:>4} | {stats.ops_before:>10} | {stats.ops_after:>10} "
             f"| {stats.reduction_pct:>8.0f}%"
         )
+
+    # the cost-aware pass ablation on the join queries (pushdown etc.)
+    from benchmarks.bench_optimizer import run_ablation
+
+    run_ablation(scale=ablation_scale, reps=ablation_reps)
 
 
 def report_joins():

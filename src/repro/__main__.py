@@ -72,7 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the nested-loop baseline and compare",
     )
     parser.add_argument(
-        "--no-optimizer", action="store_true", help="skip peephole optimization"
+        "--no-optimizer", action="store_true", help="skip plan optimization"
+    )
+    parser.add_argument(
+        "--disable-pass",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="disable one optimizer rewrite pass (repeatable; see "
+        "--explain for the pass list)",
     )
     parser.add_argument(
         "--time", action="store_true", help="print compile/execute timings"
@@ -151,7 +159,19 @@ def main(argv: list[str] | None = None, out=None) -> int:
         print("--repeat must be >= 1", file=sys.stderr)
         return 2
 
-    session = connect(use_optimizer=not args.no_optimizer)
+    from repro.relational.optimizer import PASS_NAMES
+
+    disabled = frozenset(args.disable_pass)
+    unknown = disabled - set(PASS_NAMES)
+    if unknown:
+        print(
+            f"unknown optimizer pass(es): {', '.join(sorted(unknown))} "
+            f"(available: {', '.join(PASS_NAMES)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    session = connect(use_optimizer=not args.no_optimizer, disabled_passes=disabled)
     database = session.database
     try:
         raw_bindings = dict(parse_binding(spec) for spec in args.bind)
@@ -181,6 +201,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
                     f"{report.stats.ops_after} after optimization",
                     file=out,
                 )
+                if report.stats.pass_stats:
+                    print("# optimizer passes:", file=out)
+                    for line in report.pass_table.splitlines():
+                        print(f"#   {line}", file=out)
                 print(report.plan_ascii, file=out)
             if args.mil:
                 print(report.mil, file=out)

@@ -37,7 +37,11 @@ from repro.encoding.shred import shred_text
 from repro.encoding.storage import StorageReport, measure_storage
 from repro.errors import PathfinderError
 from repro.relational import algebra as alg
-from repro.relational.optimizer import OptimizerStats, optimize
+from repro.relational.optimizer import (
+    CardinalityEstimator,
+    OptimizerStats,
+    optimize,
+)
 from repro.xquery.core import desugar_module
 from repro.xquery.parser import parse_query
 
@@ -54,6 +58,9 @@ class Database:
         self._default_explicit = False
         self._epoch_counter = itertools.count(1)
         self._xml_bytes = 0
+        # arena statistics for the optimizer, rebuilt when the catalog
+        # changes (same invalidation points as the plan cache)
+        self._estimator: CardinalityEstimator | None = None
 
     # ------------------------------------------------------------ documents
     @property
@@ -98,6 +105,7 @@ class Database:
         root = shred_text(self.arena, xml_text)
         self.documents[uri] = root
         self.doc_epochs[uri] = next(self._epoch_counter)
+        self._estimator = None
         self._xml_bytes += len(xml_text.encode("utf-8"))
         if default:
             self._default_document = uri
@@ -118,6 +126,7 @@ class Database:
             raise PathfinderError(f"document {uri!r} is not loaded")
         del self.documents[uri]
         del self.doc_epochs[uri]
+        self._estimator = None
         self.plan_cache.invalidate_document(uri)
         if self._default_document == uri:
             self._default_document = None
@@ -133,6 +142,7 @@ class Database:
         use_staircase: bool = True,
         use_optimizer: bool = True,
         use_join_recognition: bool = True,
+        disabled_passes: frozenset[str] | tuple = frozenset(),
     ) -> "Session":
         """Open a new session (per-client execution context) over this
         database."""
@@ -143,22 +153,39 @@ class Database:
             use_staircase=use_staircase,
             use_optimizer=use_optimizer,
             use_join_recognition=use_join_recognition,
+            disabled_passes=disabled_passes,
         )
 
     # ------------------------------------------------------------- compiler
     def cache_key(
-        self, query: str, use_optimizer: bool, use_join_recognition: bool = True
+        self,
+        query: str,
+        use_optimizer: bool,
+        use_join_recognition: bool = True,
+        disabled_passes: frozenset[str] = frozenset(),
     ) -> tuple:
-        return (query, use_optimizer, use_join_recognition, self._default_document)
+        return (
+            query,
+            use_optimizer,
+            use_join_recognition,
+            tuple(sorted(disabled_passes)),
+            self._default_document,
+        )
 
     def compile_query(
         self,
         query: str,
         use_optimizer: bool,
         use_join_recognition: bool = True,
+        disabled_passes: frozenset[str] = frozenset(),
     ) -> CachedPlan:
         """One full front-end run (parse → desugar → loop-lift →
-        optimize), bypassing the plan cache."""
+        optimize), bypassing the plan cache.
+
+        ``disabled_passes`` names optimizer rewrite passes to skip (see
+        :data:`repro.relational.optimizer.PASS_NAMES`); cardinality
+        estimates are seeded from this database's arena statistics.
+        """
         t0 = time.perf_counter()
         module = parse_query(query)
         core = desugar_module(module)
@@ -173,7 +200,13 @@ class Database:
         doc_deps = plan_documents(plan)
         stats = OptimizerStats()
         if use_optimizer:
-            plan = optimize(plan, stats)
+            if self._estimator is None:
+                self._estimator = CardinalityEstimator.from_database(
+                    self.arena, self.documents
+                )
+            plan = optimize(
+                plan, stats, disabled=disabled_passes, estimator=self._estimator
+            )
         else:
             stats.ops_before = stats.ops_after = alg.op_count(plan)
         return CachedPlan(
@@ -193,17 +226,22 @@ class Database:
         query: str,
         use_optimizer: bool,
         use_join_recognition: bool = True,
+        disabled_passes: frozenset[str] = frozenset(),
     ) -> tuple[CachedPlan, bool]:
         """Compile ``query`` through the plan cache.
 
         Returns ``(entry, hit)`` where ``hit`` says whether the plan came
         from the cache.  Compilation errors are not cached.
         """
-        key = self.cache_key(query, use_optimizer, use_join_recognition)
+        key = self.cache_key(
+            query, use_optimizer, use_join_recognition, disabled_passes
+        )
         entry = self.plan_cache.get(key, self.doc_epochs)
         if entry is not None:
             return entry, True
-        entry = self.compile_query(query, use_optimizer, use_join_recognition)
+        entry = self.compile_query(
+            query, use_optimizer, use_join_recognition, disabled_passes
+        )
         self.plan_cache.put(key, entry)
         return entry, False
 
@@ -213,12 +251,14 @@ def connect(
     use_staircase: bool = True,
     use_optimizer: bool = True,
     use_join_recognition: bool = True,
+    disabled_passes: frozenset[str] | tuple = frozenset(),
 ) -> "Session":
     """Open a session — the front door of the API.
 
     ``repro.connect()`` creates a private in-memory :class:`Database` and
     returns a session on it; pass an existing ``database`` to share one
-    catalog and plan cache between sessions.
+    catalog and plan cache between sessions.  ``disabled_passes`` names
+    optimizer rewrite passes this session should skip.
     """
     if database is None:
         database = Database()
@@ -226,4 +266,5 @@ def connect(
         use_staircase=use_staircase,
         use_optimizer=use_optimizer,
         use_join_recognition=use_join_recognition,
+        disabled_passes=disabled_passes,
     )

@@ -38,11 +38,15 @@ class Session:
         use_staircase: bool = True,
         use_optimizer: bool = True,
         use_join_recognition: bool = True,
+        disabled_passes: frozenset[str] | tuple = frozenset(),
     ):
         self.database = database
         self.use_staircase = use_staircase
         self.use_optimizer = use_optimizer
         self.use_join_recognition = use_join_recognition
+        #: optimizer rewrite passes this session skips (names from
+        #: :data:`repro.relational.optimizer.PASS_NAMES`)
+        self.disabled_passes = frozenset(disabled_passes)
         self.variables: dict[str, object] = {}
         self.stats = SessionStats()
 
@@ -65,7 +69,10 @@ class Session:
         :class:`PreparedQuery` that can be executed many times with
         different external-variable bindings."""
         entry, hit = self.database.compile_cached(
-            query, self.use_optimizer, self.use_join_recognition
+            query,
+            self.use_optimizer,
+            self.use_join_recognition,
+            self.disabled_passes,
         )
         if hit:
             self.stats.plan_cache_hits += 1

@@ -75,6 +75,11 @@ class ExplainReport:
     stats: OptimizerStats
 
     @property
+    def pass_table(self) -> str:
+        """Per-pass optimizer statistics as an aligned text table."""
+        return self.stats.pass_table()
+
+    @property
     def plan_ascii(self) -> str:
         return to_ascii(self.optimized)
 
@@ -108,12 +113,14 @@ class PathfinderEngine:
         use_optimizer: bool = True,
         use_join_recognition: bool = True,
         database: Database | None = None,
+        disabled_passes: frozenset[str] | tuple = frozenset(),
     ):
         self._db = database if database is not None else Database()
         self._session = self._db.connect(
             use_staircase=use_staircase,
             use_optimizer=use_optimizer,
             use_join_recognition=use_join_recognition,
+            disabled_passes=disabled_passes,
         )
 
     # ---------------------------------------------------------- delegation
@@ -176,6 +183,7 @@ class PathfinderEngine:
             query,
             self._session.use_optimizer,
             self._session.use_join_recognition,
+            self._session.disabled_passes,
         )
         return entry.plan, entry.stats
 

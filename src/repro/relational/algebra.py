@@ -44,6 +44,7 @@ class Op:
 
     @property
     def children(self) -> tuple["Op", ...]:
+        """The operator's input plans."""
         return ()
 
     def label(self) -> str:
@@ -68,6 +69,7 @@ class Lit(Op):
     item_cols: frozenset = field(default_factory=frozenset)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         if not self.rows:
             return f"∅({','.join(self.schema)})"
         return f"lit({','.join(self.schema)};{len(self.rows)}r)"
@@ -91,9 +93,11 @@ class Project(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         parts = [n if n == o else f"{n}:{o}" for n, o in self.cols]
         return f"π {','.join(parts)}"
 
@@ -112,9 +116,11 @@ class Select(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"σ {_fmt(self.lhs)} {self.op} {_fmt(self.rhs)}"
 
     def _params(self):
@@ -129,9 +135,11 @@ class Union(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return self.inputs
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "∪"
 
 
@@ -145,9 +153,11 @@ class Difference(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.left, self.right)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"\\ {','.join(self.keys)}"
 
     def _params(self):
@@ -168,9 +178,11 @@ class Distinct(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"δ {','.join(self.keys)}"
 
     def _params(self):
@@ -191,9 +203,11 @@ class Join(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.left, self.right)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "⋈ " + ",".join(f"{l}={r}" for l, r in self.keys)
 
     def _params(self):
@@ -210,9 +224,11 @@ class SemiJoin(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.left, self.right)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "⋉ " + ",".join(f"{l}={r}" for l, r in self.keys)
 
     def _params(self):
@@ -228,9 +244,11 @@ class Cross(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.left, self.right)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "×"
 
 
@@ -251,9 +269,11 @@ class RowNum(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         order = ",".join(c + ("↓" if d else "") for c, d in self.order)
         group = f"/{self.group}" if self.group else ""
         return f"ϱ {self.target}:({order}){group}"
@@ -273,9 +293,11 @@ class Map(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"⊛ {self.target}:{self.fn}({','.join(_fmt(a) for a in self.args)})"
 
     def _params(self):
@@ -302,9 +324,11 @@ class Aggr(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         group = f"/{self.group}" if self.group else ""
         return f"{self.kind} {self.target}:{self.arg or '*'}{group}"
 
@@ -330,9 +354,11 @@ class StepJoin(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"⤲ {self.axis.value}::{self.test}"
 
     def _params(self):
@@ -350,9 +376,11 @@ class Atomize(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"data {self.target}:{self.arg}"
 
     def _params(self):
@@ -375,9 +403,11 @@ class ElemConstr(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.names, self.content)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "ε elem"
 
 
@@ -392,9 +422,11 @@ class TextConstr(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.content,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "τ text"
 
 
@@ -408,9 +440,11 @@ class AttrConstr(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.names, self.values)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return "ε attr"
 
 
@@ -426,9 +460,11 @@ class GenRange(Op):
 
     @property
     def children(self):
+        """The operator's input plans."""
         return (self.child,)
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"range {self.lo_col}..{self.hi_col}"
 
     def _params(self):
@@ -442,6 +478,7 @@ class DocRoot(Op):
     uri: str
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         return f"doc({self.uri!r})"
 
     def _params(self):
@@ -467,6 +504,7 @@ class ParamTable(Op):
     type_name: str | None = None
 
     def label(self) -> str:
+        """Rendered operator label (plan printing)."""
         suffix = f" as {self.type_name}" if self.type_name else ""
         return f"param ${self.name}{suffix}"
 

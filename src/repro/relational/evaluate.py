@@ -53,6 +53,7 @@ class EvalContext:
 
     @property
     def pool(self):
+        """The arena's string pool (item encoding/decoding)."""
         return self.arena.pool
 
 

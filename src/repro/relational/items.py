@@ -204,31 +204,38 @@ class ItemColumn:
     # ---------------------------------------------------------------- build
     @classmethod
     def empty(cls) -> "ItemColumn":
+        """A zero-length item column."""
         return cls(_EMPTY_U8, _EMPTY_I64)
 
     @classmethod
     def of_kind(cls, kind: int, data: np.ndarray) -> "ItemColumn":
+        """A column whose every item has ``kind`` with payloads ``data``."""
         data = np.asarray(data, dtype=np.int64)
         return cls(np.full(len(data), kind, dtype=np.uint8), data)
 
     @classmethod
     def from_ints(cls, values) -> "ItemColumn":
+        """Encode integers as ``xs:integer`` items."""
         return cls.of_kind(K_INT, np.asarray(values, dtype=np.int64))
 
     @classmethod
     def from_doubles(cls, values) -> "ItemColumn":
+        """Encode floats as ``xs:double`` items (payload = raw IEEE bits)."""
         return cls.of_kind(K_DBL, _bits(np.asarray(values, dtype=np.float64)))
 
     @classmethod
     def from_bools(cls, values) -> "ItemColumn":
+        """Encode a boolean mask as ``xs:boolean`` items."""
         return cls.of_kind(K_BOOL, np.asarray(values, dtype=bool).astype(np.int64))
 
     @classmethod
     def from_nodes(cls, node_ids) -> "ItemColumn":
+        """Encode arena node ids as node items."""
         return cls.of_kind(K_NODE, np.asarray(node_ids, dtype=np.int64))
 
     @classmethod
     def from_pooled(cls, kind: int, sids) -> "ItemColumn":
+        """Encode pooled string ids as string/untypedAtomic items."""
         if kind not in _POOLED:
             raise ValueError("from_pooled requires a pooled kind")
         return cls.of_kind(kind, np.asarray(sids, dtype=np.int64))
@@ -266,10 +273,12 @@ class ItemColumn:
         return len(self.data)
 
     def take(self, idx) -> "ItemColumn":
+        """Row selection/reordering by index array or boolean mask."""
         return ItemColumn(self.kinds[idx], self.data[idx])
 
     @staticmethod
     def concat(columns: Sequence["ItemColumn"]) -> "ItemColumn":
+        """Concatenate item columns (empty input gives an empty column)."""
         if not columns:
             return ItemColumn.empty()
         return ItemColumn(
@@ -278,9 +287,11 @@ class ItemColumn:
         )
 
     def repeat(self, counts) -> "ItemColumn":
+        """Repeat each item ``counts[i]`` times (``np.repeat`` semantics)."""
         return ItemColumn(np.repeat(self.kinds, counts), np.repeat(self.data, counts))
 
     def is_homogeneous(self, kind: int) -> bool:
+        """True when every item (if any) has exactly ``kind``."""
         return bool(len(self) == 0 or np.all(self.kinds == kind))
 
     # -------------------------------------------------------------- decode

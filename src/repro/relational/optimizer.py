@@ -1,28 +1,55 @@
-"""Peephole plan optimization.
+"""The rewrite-pass plan optimizer.
 
 Loop-lifted plans are large and mechanical — the paper reports ~120
 operators for XMark Q8 before optimization and cites peephole-style
 rewriting [Grust, "Purely Relational FLWORs", XIME-P 2005] as the remedy.
-The optimizer here works the same way: local rewrites applied over the
-DAG until a fixpoint, exploiting the restrictions of the assembly-style
-algebra (π never removes duplicates, ∪ is disjoint, all joins equi-joins):
+This module organises that rewriting as an ordered pipeline of **named
+rewrite passes** over the algebra DAG, run to a fixpoint by
+:func:`optimize`.  Each pass is a pure ``plan → plan`` transform that
+reports how many rewrites fired; per-pass statistics (operator counts,
+rewrites, estimated root cardinality) surface through
+:class:`OptimizerStats` into ``Session.explain`` and the CLI.
 
-* **common subexpression elimination** — structurally identical subplans
-  are shared (loop-lifting emits the same ``loop`` relation many times);
-* **projection pruning** (the compiler's *icols* analysis) — only columns
-  an ancestor actually consumes are kept; dead ``Map``/``RowNum``/
-  ``Atomize`` targets are dropped entirely;
-* **projection merging** — π ∘ π collapses, identity π disappears;
-* **literal folding** — σ/π over literal tables evaluate at compile time,
-  unions of literals concatenate;
-* **empty propagation** — operators over provably empty inputs collapse
-  to empty literal tables.
+The default pipeline, in order (see ``docs/ARCHITECTURE.md`` for a worked
+example):
+
+* **cse** — hash-consing: structurally identical subplans are shared
+  (loop-lifting emits the same ``loop`` relation many times);
+* **fold** — compile-time evaluation: σ/π over literal tables, unions of
+  literals, and empty-input propagation;
+* **fuse_select** — ``σ (t = true) ∘ ⊛ t:cmp(a,b)`` becomes a direct
+  ``σ a cmp b``, exposing the comparison to the passes below;
+* **pushdown** — selections (σ) and semijoin restrictions (⋉) move below
+  π, ⋈, ×, ⊛, ∪, ϱ, δ, aggregates and staircase joins whenever they only
+  constrain one input, so downstream operators see fewer rows;
+* **join_recognition** — ``σ (a = b)`` over a cross product (or over an
+  equi-join, as an extra key) becomes an equi-join when both columns are
+  plain numeric columns;
+* **distinct_elim** — δ over provably duplicate-free input is dropped
+  (e.g. directly above a staircase join, whose output is already
+  sorted-distinct per iteration);
+* **prune** — required-column (*icols*) analysis: only columns an
+  ancestor consumes are kept; dead ``Map``/``RowNum``/``Atomize``
+  targets are dropped entirely;
+* **merge_projects** — π ∘ π collapses, identity π disappears;
+* **join_order** — join inputs are swapped (under a schema-restoring π)
+  so the side the sort-merge kernel sorts is the one estimated smaller,
+  using :class:`CardinalityEstimator` seeded from literal/document leaves.
+
+All rewrites except ``join_order`` are row-order-exact; ``join_order``
+preserves the multiset of rows and refuses to reorder joins beneath any
+consumer whose result could depend on physical row order (δ/str_join
+without an order column, ϱ with ambiguous ties — see
+:func:`_order_sensitive`).  The plan-equivalence test corpus guards all
+of it end to end.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.encoding.axes import Axis
 from repro.errors import AlgebraError
 from repro.relational import algebra as alg
 
@@ -123,51 +150,410 @@ def _item_cols(op: alg.Op, memo) -> frozenset:
 
 
 # --------------------------------------------------------------------------
-# optimizer driver
+# cardinality estimation
+# --------------------------------------------------------------------------
+#: crude textbook selectivities for σ predicates (column vs constant /
+#: column vs column); only *relative* magnitudes matter, for join ordering
+_SEL_EQ_CONST = 0.1
+_SEL_CMP_CONST = 0.4
+_SEL_COL_COL = 0.25
+
+#: per-axis output growth factors used by :class:`CardinalityEstimator`
+_UNIT_AXES = frozenset({Axis.SELF, Axis.PARENT, Axis.ATTRIBUTE})
+_DEEP_AXES = frozenset(
+    {Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF, Axis.FOLLOWING, Axis.PRECEDING}
+)
+
+
+@dataclass
+class CardinalityEstimator:
+    """Simple bottom-up row-count estimates for plan DAGs.
+
+    Estimates are seeded at the leaves — ``Lit`` row counts, ``DocRoot``
+    (one row), ``GenRange`` expansion — and scaled upward with document
+    statistics taken from the :class:`~repro.encoding.arena.NodeArena`
+    (total shredded nodes per document, mean branching factor).  They are
+    deliberately crude: the only consumer that *decides* anything with
+    them is the ``join_order`` pass, which needs no more than "which join
+    input is likely larger"; ``OptimizerStats`` additionally reports them
+    for observability.
+    """
+
+    #: per-document shredded node counts (uri → rows of the node table)
+    doc_rows: dict[str, float] = field(default_factory=dict)
+    #: mean children per element — the child-axis growth factor
+    child_fanout: float = 4.0
+    #: growth factor of descendant-flavoured axes
+    descendant_fanout: float = 16.0
+
+    @classmethod
+    def from_database(cls, arena, documents: dict[str, int]) -> "CardinalityEstimator":
+        """Seed an estimator from a node arena and its document catalog."""
+        doc_rows = {
+            uri: float(arena.size[root]) + 1.0 for uri, root in documents.items()
+        }
+        total = sum(doc_rows.values())
+        child_fanout, descendant_fanout = 4.0, 16.0
+        if total > 1 and arena.num_nodes:
+            level = arena.level
+            depth = float(level.max()) if len(level) else 1.0
+            depth = max(depth, 1.0)
+            # nodes ≈ fanout^depth  ⇒  fanout ≈ nodes^(1/depth)
+            child_fanout = min(max(total ** (1.0 / depth), 2.0), 64.0)
+            descendant_fanout = min(max(child_fanout**2, 16.0), total)
+        return cls(doc_rows, child_fanout, descendant_fanout)
+
+    def estimate(self, op: alg.Op, memo: dict | None = None) -> float:
+        """Estimated number of output rows of ``op`` (never below 0).
+
+        ``memo`` is keyed by the operator objects themselves (operators
+        hash by identity), so one memo can safely be reused across
+        several plans sharing subtrees.
+        """
+        if memo is None:
+            memo = {}
+        cached = memo.get(op)
+        if cached is not None:
+            return cached
+        result = self._estimate(op, memo)
+        memo[op] = result
+        return result
+
+    def _estimate(self, op: alg.Op, memo) -> float:
+        est = lambda c: self.estimate(c, memo)  # noqa: E731
+        if isinstance(op, alg.Lit):
+            return float(len(op.rows))
+        if isinstance(op, alg.DocRoot):
+            return 1.0
+        if isinstance(op, alg.ParamTable):
+            return 4.0  # bindings are unknown at compile time
+        if isinstance(op, (alg.Project, alg.Map, alg.Atomize, alg.RowNum)):
+            return est(op.child)
+        if isinstance(op, alg.Select):
+            consts = sum(1 for tag, _ in (op.lhs, op.rhs) if tag == "const")
+            if consts:
+                sel = _SEL_EQ_CONST if op.op == "eq" else _SEL_CMP_CONST
+            else:
+                sel = _SEL_COL_COL
+            return est(op.child) * sel
+        if isinstance(op, alg.Union):
+            return sum(est(i) for i in op.inputs)
+        if isinstance(op, alg.Difference):
+            return est(op.left) * 0.6
+        if isinstance(op, alg.SemiJoin):
+            return est(op.left) * 0.6
+        if isinstance(op, alg.Distinct):
+            return est(op.child) * 0.6
+        if isinstance(op, alg.Join):
+            # assume a foreign-key-flavoured equi-join
+            return max(est(op.left), est(op.right))
+        if isinstance(op, alg.Cross):
+            return est(op.left) * est(op.right)
+        if isinstance(op, alg.Aggr):
+            if op.group is None:
+                return 1.0
+            return max(est(op.child) * 0.2, 1.0)
+        if isinstance(op, alg.StepJoin):
+            if op.axis in _UNIT_AXES:
+                fanout = 1.0
+            elif op.axis in _DEEP_AXES:
+                fanout = self.descendant_fanout
+                if self.doc_rows and self._reaches_doc(op.child, memo):
+                    # a descendant-flavoured step fanning out of a document
+                    # root scans whole documents, not a fixed factor
+                    fanout = max(fanout, max(self.doc_rows.values()))
+            else:
+                fanout = self.child_fanout
+            return est(op.child) * fanout
+        if isinstance(op, alg.GenRange):
+            return est(op.child) * 8.0
+        if isinstance(op, (alg.ElemConstr, alg.AttrConstr)):
+            return est(op.children[0])
+        if isinstance(op, alg.TextConstr):
+            return est(op.content)
+        return 1.0
+
+    def _reaches_doc(self, op: alg.Op, memo) -> bool:
+        """Does ``op``'s subtree contain a ``DocRoot`` leaf?  (Memoised in
+        the same dict as the row estimates, under tagged keys.)"""
+        key = ("doc", op)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        memo[key] = False  # cycle-safe default; plans are DAGs anyway
+        result = isinstance(op, alg.DocRoot) or any(
+            self._reaches_doc(c, memo) for c in op.children
+        )
+        memo[key] = result
+        return result
+
+
+# --------------------------------------------------------------------------
+# uniqueness analysis (feeds the distinct_elim pass)
+# --------------------------------------------------------------------------
+_MAX_UNIQUE_SETS = 8
+
+
+def _unique_sets(op: alg.Op, memo: dict[int, frozenset]) -> frozenset:
+    """Column sets on which ``op``'s output rows are provably unique.
+
+    The empty set means the relation has at most one row (then every key
+    set is trivially unique).  Best-effort and capped: missing facts are
+    always safe, they only make ``distinct_elim`` fire less.
+    """
+    cached = memo.get(id(op))
+    if cached is not None:
+        return cached
+    # deterministic truncation: prefer the most general (smallest) facts
+    ordered = sorted(_unique(op, memo), key=lambda s: (len(s), sorted(s)))
+    result = frozenset(ordered[:_MAX_UNIQUE_SETS])
+    memo[id(op)] = result
+    return result
+
+
+def _unique(op: alg.Op, memo) -> frozenset:
+    if isinstance(op, alg.Lit):
+        return frozenset({frozenset()}) if len(op.rows) <= 1 else frozenset()
+    if isinstance(op, (alg.DocRoot,)):
+        return frozenset({frozenset()})
+    if isinstance(op, alg.ParamTable):
+        return frozenset({frozenset({"pos"})})
+    if isinstance(op, alg.StepJoin):
+        return frozenset({frozenset({op.iter_col, op.item_col})})
+    if isinstance(op, alg.GenRange):
+        # each iteration's range has distinct values and dense pos — but
+        # only if no iteration occurs twice in the input
+        if any(u <= frozenset({"iter"}) for u in _unique_sets(op.child, memo)):
+            return frozenset(
+                {frozenset({"iter", "pos"}), frozenset({"iter", "item"})}
+            )
+        return frozenset()
+    if isinstance(op, alg.Distinct):
+        return _unique_sets(op.child, memo) | frozenset({frozenset(op.keys)})
+    if isinstance(op, (alg.Select, alg.SemiJoin, alg.Difference)):
+        return _unique_sets(op.children[0], memo)
+    if isinstance(op, (alg.Map, alg.Atomize)):
+        # the target may overwrite a column: facts mentioning it go stale
+        return frozenset(
+            s for s in _unique_sets(op.child, memo) if op.target not in s
+        )
+    if isinstance(op, alg.RowNum):
+        base = frozenset(
+            s for s in _unique_sets(op.child, memo) if op.target not in s
+        )
+        mine = frozenset({op.target}) if op.group is None else frozenset(
+            {op.group, op.target}
+        )
+        return base | frozenset({mine})
+    if isinstance(op, alg.Project):
+        out = set()
+        by_old: dict[str, str] = {}
+        for new, old in op.cols:
+            by_old.setdefault(old, new)
+        for s in _unique_sets(op.child, memo):
+            if all(c in by_old for c in s):
+                out.add(frozenset(by_old[c] for c in s))
+        return frozenset(out)
+    if isinstance(op, alg.Aggr):
+        if op.group is None:
+            return frozenset({frozenset()})
+        return frozenset({frozenset({op.group})})
+    if isinstance(op, (alg.Join, alg.Cross)):
+        lsets = _unique_sets(op.left, memo)
+        rsets = _unique_sets(op.right, memo)
+        out = {ls | rs for ls in lsets for rs in rsets}
+        if isinstance(op, alg.Join):
+            # right unique on the join keys ⇒ each left row matches ≤ 1
+            rkeys = frozenset(r for _, r in op.keys)
+            if any(rs <= rkeys for rs in rsets):
+                out |= set(lsets)
+            lkeys = frozenset(l for l, _ in op.keys)
+            if any(ls <= lkeys for ls in lsets):
+                out |= set(rsets)
+        return frozenset(out)
+    return frozenset()
+
+
+# --------------------------------------------------------------------------
+# optimizer statistics
 # --------------------------------------------------------------------------
 @dataclass
-class OptimizerStats:
-    """Before/after operator counts (benchmark E6 reports these)."""
+class PassStats:
+    """Aggregated statistics of one named rewrite pass across all rounds."""
 
+    #: registry name of the pass (see :data:`PASS_NAMES`)
+    name: str
+    #: how many fixpoint rounds ran this pass
+    runs: int = 0
+    #: total rewrites the pass fired
+    rewrites: int = 0
+    #: operator count before the pass first ran
     ops_before: int = 0
+    #: operator count after the pass most recently ran
     ops_after: int = 0
+    #: estimated root cardinality after the pass most recently ran
+    est_rows: float | None = None
+
+
+@dataclass
+class OptimizerStats:
+    """Plan-level and per-pass optimizer counters (benchmark E6, explain)."""
+
+    #: operator count of the plan handed to :func:`optimize`
+    ops_before: int = 0
+    #: operator count of the returned plan
+    ops_after: int = 0
+    #: fixpoint rounds executed
     passes: int = 0
+    #: per-pass statistics, in pipeline order
+    pass_stats: list[PassStats] = field(default_factory=list)
+    #: estimated root cardinality of the optimized plan
+    estimated_rows: float | None = None
 
     @property
     def reduction_pct(self) -> float:
+        """Plan-size reduction achieved, as a percentage of ``ops_before``."""
         if self.ops_before == 0:
             return 0.0
         return 100.0 * (self.ops_before - self.ops_after) / self.ops_before
 
+    def pass_table(self) -> str:
+        """The per-pass statistics as an aligned text table."""
+        header = (
+            f"{'pass':<18}{'runs':>5}{'fired':>7}{'ops in':>8}"
+            f"{'ops out':>9}{'est rows':>10}"
+        )
+        lines = [header]
+        for p in self.pass_stats:
+            est = f"{p.est_rows:,.0f}" if p.est_rows is not None else "-"
+            lines.append(
+                f"{p.name:<18}{p.runs:>5}{p.rewrites:>7}{p.ops_before:>8}"
+                f"{p.ops_after:>9}{est:>10}"
+            )
+        return "\n".join(lines)
 
-def optimize(root: alg.Op, stats: OptimizerStats | None = None) -> alg.Op:
-    """Apply all rewrite passes to a fixpoint (bounded) and return the
-    rewritten plan."""
-    if stats is not None:
-        stats.ops_before = alg.op_count(root)
-    for i in range(8):
-        before = alg.op_count(root)
-        root = _cse(root)
-        root = _fold(root)
-        root = _prune(root)
-        root = _merge_projects(root)
-        root = _cse(root)
-        after = alg.op_count(root)
-        if stats is not None:
-            stats.passes = i + 1
-        if after == before:
+
+# --------------------------------------------------------------------------
+# optimizer driver
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RewritePass:
+    """A named, stats-reporting transform over the algebra DAG."""
+
+    #: registry name (what ``disabled=`` and the CLI refer to)
+    name: str
+    #: one-line description (docs, ``--explain`` output)
+    description: str
+    #: the transform: ``(root, estimator) → (new_root, rewrites_fired)``
+    fn: Callable[[alg.Op, "CardinalityEstimator"], tuple[alg.Op, int]]
+
+
+_MAX_ROUNDS = 10
+
+
+def optimize(
+    root: alg.Op,
+    stats: OptimizerStats | None = None,
+    *,
+    disabled: frozenset[str] | set[str] | tuple = frozenset(),
+    estimator: CardinalityEstimator | None = None,
+    trace: list | None = None,
+) -> alg.Op:
+    """Run the rewrite-pass pipeline to a (bounded) fixpoint.
+
+    ``disabled`` names passes to skip (must be members of
+    :data:`PASS_NAMES`); ``estimator`` seeds cardinality estimation (a
+    default, statistics-free estimator is used when omitted); ``trace``,
+    when a list, receives one ``(pass_name, plan)`` snapshot after every
+    pass application that changed the plan — the hook behind
+    ``examples/plan_explorer.py``'s per-pass diffs.
+    """
+    unknown = set(disabled) - set(PASS_NAMES)
+    if unknown:
+        raise AlgebraError(
+            f"unknown optimizer pass(es) {sorted(unknown)}; "
+            f"available: {', '.join(PASS_NAMES)}"
+        )
+    collect = stats is not None
+    est = estimator if estimator is not None else CardinalityEstimator()
+    active = [p for p in PASSES if p.name not in set(disabled)]
+    per = {p.name: PassStats(p.name) for p in active}
+    # one object-keyed estimate memo for the whole run: shared subtrees
+    # surviving a pass keep their cached estimates
+    est_memo: dict = {}
+    cur_ops = alg.op_count(root) if collect else 0
+    if collect:
+        stats.ops_before = cur_ops
+    rounds = 0
+    fingerprint = _fingerprint(root)
+    for i in range(_MAX_ROUNDS):
+        rounds = i + 1
+        for p in active:
+            if collect:
+                ps = per[p.name]
+                if ps.runs == 0:
+                    ps.ops_before = cur_ops
+            new_root, fired = p.fn(root, est)
+            if collect:
+                ps.runs += 1
+                ps.rewrites += fired
+                if fired:
+                    cur_ops = alg.op_count(new_root)
+                ps.ops_after = cur_ops
+                ps.est_rows = est.estimate(new_root, est_memo)
+            if trace is not None and fired and new_root is not root:
+                trace.append((p.name, new_root))
+            root = new_root
+        next_fingerprint = _fingerprint(root)
+        if next_fingerprint == fingerprint:
             break
-    if stats is not None:
+        fingerprint = next_fingerprint
+    if collect:
+        stats.passes = rounds
         stats.ops_after = alg.op_count(root)
+        stats.pass_stats = list(per.values())
+        stats.estimated_rows = est.estimate(root, est_memo)
     return root
+
+
+def _fingerprint(root: alg.Op) -> tuple:
+    """A structural fingerprint of the DAG (fixpoint detection).
+
+    Exact, not a hash: two fingerprints compare equal iff the canonical
+    key sets (and the root's canonical id) are identical.
+    """
+    canon: dict[tuple, int] = {}
+    ids: dict[int, int] = {}
+    for node in alg.walk(root):
+        key = node.struct_key(tuple(ids[id(c)] for c in node.children))
+        ids[id(node)] = canon.setdefault(key, len(canon))
+    return (ids[id(root)], frozenset(canon))
+
+
+def _rewrite_bottom_up(root: alg.Op, rewrite_one) -> tuple[alg.Op, int]:
+    """Shared pass skeleton: rebuild the DAG children-first, offering
+    every node to ``rewrite_one(node) -> Op | None``; counts the nodes it
+    rewrote.  New passes usually only need a ``rewrite_one``."""
+    rebuilt: dict[int, alg.Op] = {}
+    fired = 0
+    for node in alg.walk(root):
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        new = _with_children(node, children)
+        replacement = rewrite_one(new)
+        if replacement is not None and replacement is not new:
+            new = replacement
+            fired += 1
+        rebuilt[id(node)] = new
+    return rebuilt[id(root)], fired
 
 
 # --------------------------------------------------------------------------
 # pass: common subexpression elimination (hash consing)
 # --------------------------------------------------------------------------
-def _cse(root: alg.Op) -> alg.Op:
+def _cse(root: alg.Op, est) -> tuple[alg.Op, int]:
     canon: dict[tuple, alg.Op] = {}
     rebuilt: dict[int, alg.Op] = {}
+    fired = 0
     for node in alg.walk(root):
         child_ids = tuple(id(rebuilt[id(c)]) for c in node.children)
         new_children = tuple(rebuilt[id(c)] for c in node.children)
@@ -179,7 +565,8 @@ def _cse(root: alg.Op) -> alg.Op:
             rebuilt[id(node)] = candidate
         else:
             rebuilt[id(node)] = existing
-    return rebuilt[id(root)]
+            fired += 1
+    return rebuilt[id(root)], fired
 
 
 def _with_children(node: alg.Op, children: tuple[alg.Op, ...]) -> alg.Op:
@@ -241,12 +628,8 @@ def _empty_like(op: alg.Op) -> alg.Lit:
     return alg.Lit(schema_of(op, memo), (), _item_cols_of(op, imemo))
 
 
-def _fold(root: alg.Op) -> alg.Op:
-    rebuilt: dict[int, alg.Op] = {}
-    for node in alg.walk(root):
-        children = tuple(rebuilt[id(c)] for c in node.children)
-        rebuilt[id(node)] = _fold_one(_with_children(node, children))
-    return rebuilt[id(root)]
+def _fold(root: alg.Op, est) -> tuple[alg.Op, int]:
+    return _rewrite_bottom_up(root, _fold_one)
 
 
 def _fold_one(node: alg.Op) -> alg.Op:
@@ -287,6 +670,21 @@ def _fold_one(node: alg.Op) -> alg.Op:
     if isinstance(node, (alg.Map, alg.RowNum, alg.Distinct, alg.Atomize)):
         if _is_empty_lit(node.child):
             return _empty_like(node)
+    if isinstance(node, alg.Map):
+        child = node.child
+        if isinstance(child, alg.Lit):
+            folded = _fold_map_lit(node, child)
+            if folded is not None:
+                return folded
+    if isinstance(node, alg.Atomize):
+        child = node.child
+        if isinstance(child, alg.Lit) and node.arg in child.item_cols:
+            # literal rows hold Python scalars, never nodes: fn:data is the
+            # identity, so the target column is a copy of the argument
+            idx = child.schema.index(node.arg)
+            return _lit_with_column(
+                child, node.target, [row[idx] for row in child.rows]
+            )
     if isinstance(node, alg.StepJoin):
         if _is_empty_lit(node.child):
             return alg.Lit(
@@ -306,10 +704,75 @@ def _fold_one(node: alg.Op) -> alg.Op:
     return node
 
 
+#: ⊛ functions foldable over literal int/bool operands: exactly those whose
+#: evaluator kernel reduces to Python's own int/bool semantics there
+_FOLD_MAP_FNS: dict[str, Callable] = {
+    "ebv": lambda a: bool(a),
+    "not": lambda a: not bool(a),
+    # literal ints are xs:integer items, literal bools xs:boolean items
+    "is_numeric": lambda a: not isinstance(a, bool),
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "eq": lambda a, b: bool(a == b),
+    "ne": lambda a, b: bool(a != b),
+    "lt": lambda a, b: bool(a < b),
+    "le": lambda a, b: bool(a <= b),
+    "gt": lambda a, b: bool(a > b),
+    "ge": lambda a, b: bool(a >= b),
+}
+
+
+def _lit_with_column(child: alg.Lit, target: str, values: list) -> alg.Lit:
+    """``child`` extended (or overwritten) with item column ``target``."""
+    if target in child.schema:
+        idx = child.schema.index(target)
+        rows = tuple(
+            row[:idx] + (v,) + row[idx + 1 :] for row, v in zip(child.rows, values)
+        )
+        return alg.Lit(child.schema, rows, child.item_cols | {target})
+    rows = tuple(row + (v,) for row, v in zip(child.rows, values))
+    return alg.Lit(
+        child.schema + (target,), rows, child.item_cols | {target}
+    )
+
+
+def _fold_map_lit(node: alg.Map, child: alg.Lit) -> alg.Lit | None:
+    fn = _FOLD_MAP_FNS.get(node.fn)
+    if fn is None:
+        return None
+    idx = {name: i for i, name in enumerate(child.schema)}
+
+    def values(operand):
+        tag, v = operand
+        if tag == "const":
+            if not isinstance(v, (int, bool)):
+                return None
+            return [v] * len(child.rows)
+        col = [row[idx[v]] for row in child.rows]
+        if not all(isinstance(x, (int, bool)) for x in col):
+            return None
+        return col
+
+    args = [values(a) for a in node.args]
+    if any(a is None for a in args):
+        return None
+    return _lit_with_column(child, node.target, [fn(*xs) for xs in zip(*args)] if args else [])
+
+
 def _foldable_pred(node: alg.Select, child: alg.Lit) -> bool:
+    """Can this σ-over-literal evaluate at compile time?
+
+    Item-column operands are allowed only when every involved value is an
+    int or bool: there the general comparison is the numeric comparison
+    Python's operators implement.  Strings, doubles and nodes need the
+    runtime item machinery (string pool, NaN rules) — left to the
+    evaluator.
+    """
     for tag, v in (node.lhs, node.rhs):
         if tag == "col" and v in child.item_cols:
-            return False  # item comparisons need the pool; leave to runtime
+            idx = child.schema.index(v)
+            if not all(isinstance(row[idx], (int, bool)) for row in child.rows):
+                return False
         if tag == "const" and not isinstance(v, (int, bool)):
             return False
     return True
@@ -336,13 +799,345 @@ def _fold_select_lit(node: alg.Select, child: alg.Lit) -> alg.Lit:
     rows = tuple(
         row for row in child.rows if fn(val(row, node.lhs), val(row, node.rhs))
     )
+    if rows == child.rows:
+        return child
     return alg.Lit(child.schema, rows, child.item_cols)
+
+
+# --------------------------------------------------------------------------
+# pass: select/map comparison fusion
+# --------------------------------------------------------------------------
+_CMP_FNS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+_CMP_NEGATED = {"eq": "ne", "ne": "eq"}
+
+
+def _fuse_select(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Rewrite ``σ (t = true) ∘ ⊛ t:cmp(a, b)`` into ``⊛ t ∘ σ a cmp b``.
+
+    Loop-lifting funnels every comparison through a ⊛ that materialises a
+    boolean column which a σ then tests against a constant.  Applying the
+    comparison *as* the selection predicate (and recomputing the — now
+    constant — boolean column on the survivors, so the schema is
+    unchanged) lets prune drop the dead ⊛ and exposes the comparison to
+    pushdown and join recognition.  Both paths evaluate comparisons with
+    the same general-comparison kernel, so the rewrite is exact.
+    """
+    return _rewrite_bottom_up(root, _fuse_one)
+
+
+def _fuse_one(node: alg.Op) -> alg.Op | None:
+    if not isinstance(node, alg.Select) or node.op not in ("eq", "ne"):
+        return None
+    m = node.child
+    if not isinstance(m, alg.Map) or m.fn not in _CMP_FNS or len(m.args) != 2:
+        return None
+    if ("col", m.target) in m.args:
+        return None
+    for probe, other in ((node.lhs, node.rhs), (node.rhs, node.lhs)):
+        if probe != ("col", m.target):
+            continue
+        if other[0] != "const" or not isinstance(other[1], bool):
+            continue
+        want = other[1] if node.op == "eq" else not other[1]
+        sel_op = m.fn if want else _CMP_NEGATED.get(m.fn)
+        if sel_op is None:
+            return None  # ordering comparisons have no NaN-exact negation
+        selected = alg.Select(m.child, sel_op, m.args[0], m.args[1])
+        return alg.Map(selected, m.fn, m.target, m.args)
+    return None
+
+
+# --------------------------------------------------------------------------
+# pass: selection / semijoin pushdown
+# --------------------------------------------------------------------------
+def _parent_counts(root: alg.Op) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for node in alg.walk(root):
+        for child in node.children:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+    return counts
+
+
+def _pushdown(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Move σ and ⋉ filters below operators they don't depend on.
+
+    A filter constrains a set of columns; whenever its immediate child
+    produces those columns unchanged from one of *its* inputs (a π
+    rename, one side of a ⋈/×, a ⊛ that writes a different column, every
+    branch of a ∪, whole iterations of a ϱ/staircase join/aggregate …)
+    the filter sinks below it, so the bypassed operator — and everything
+    between the filter and wherever it lands — processes fewer rows.
+
+    To keep the rewrite a strict win on DAG-shaped plans, filters do not
+    sink into shared subplans (the unfiltered subplan would still be
+    evaluated for its other parents) except through π/σ, which cost
+    nothing to duplicate.
+    """
+    counts = _parent_counts(root)
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    rebuilt: dict[int, alg.Op] = {}
+    fired = 0
+    for node in alg.walk(root):
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        new = _with_children(node, children)
+        if isinstance(new, alg.Select):
+            filt = ("select", new.op, new.lhs, new.rhs)
+            sunk = _sink(filt, new.child, counts, schema_memo)
+            if sunk is not None:
+                new = sunk
+                fired += 1
+        elif isinstance(new, alg.SemiJoin):
+            filt = ("semi", new.right, new.keys)
+            sunk = _sink(filt, new.left, counts, schema_memo)
+            if sunk is not None:
+                new = sunk
+                fired += 1
+        elif isinstance(new, (alg.Map, alg.Atomize)):
+            sunk = _sink_map(new, counts, schema_memo)
+            if sunk is not None:
+                new = sunk
+                fired += 1
+        if id(new) not in counts:
+            # the rewritten node inherits the original's parent count, so
+            # later filters see sunk subtrees shared by several parents
+            counts[id(new)] = counts.get(id(node), 1)
+        rebuilt[id(node)] = new
+    return rebuilt[id(root)], fired
+
+
+def _filter_cols(filt) -> frozenset:
+    if filt[0] == "select":
+        _, _, lhs, rhs = filt
+        return frozenset(v for tag, v in (lhs, rhs) if tag == "col")
+    _, _, keys = filt
+    return frozenset(l for l, _ in keys)
+
+
+def _filter_rename(filt, mapping: dict[str, str]):
+    """Rewrite a filter's column references through a π rename."""
+    if filt[0] == "select":
+        _, op, lhs, rhs = filt
+
+        def ren(operand):
+            tag, v = operand
+            return (tag, mapping[v]) if tag == "col" else operand
+
+        return ("select", op, ren(lhs), ren(rhs))
+    _, right, keys = filt
+    return ("semi", right, tuple((mapping[l], r) for l, r in keys))
+
+
+def _attach(filt, node: alg.Op) -> alg.Op:
+    """Place a filter directly above ``node``."""
+    if filt[0] == "select":
+        _, op, lhs, rhs = filt
+        return alg.Select(node, op, lhs, rhs)
+    _, right, keys = filt
+    return alg.SemiJoin(node, right, keys)
+
+
+def _sink_or_attach(filt, node, counts, memo, shared: bool) -> alg.Op:
+    sunk = _sink(filt, node, counts, memo, shared)
+    return sunk if sunk is not None else _attach(filt, node)
+
+
+def _sink(filt, x: alg.Op, counts, memo, shared: bool = False) -> alg.Op | None:
+    """Push ``filt`` below ``x``; returns the new subtree or None.
+
+    ``shared`` is True once the descent has passed through any node with
+    more than one consumer: from there on, every rebuilt node is a copy
+    whose original still runs for the other consumers, so only π/σ —
+    which cost nothing to duplicate — may be traversed, and the filter
+    attaches above the first expensive operator instead of forking it.
+    """
+    cols = _filter_cols(filt)
+    if not cols:
+        return None
+    shared = shared or counts.get(id(x), 1) > 1
+    if shared and not isinstance(x, (alg.Project, alg.Select)):
+        return None  # don't duplicate shared, non-trivial subplans
+    if isinstance(x, alg.Project):
+        mapping = dict(x.cols)
+        if not all(c in mapping for c in cols):
+            return None
+        inner = _filter_rename(filt, mapping)
+        return alg.Project(
+            _sink_or_attach(inner, x.child, counts, memo, shared), x.cols
+        )
+    if isinstance(x, alg.Select):
+        # only worthwhile when the filter makes it below the inner σ too
+        # (a bare σ/σ swap would oscillate between rounds)
+        body = _sink(filt, x.child, counts, memo, shared)
+        if body is None:
+            return None
+        return alg.Select(body, x.op, x.lhs, x.rhs)
+    if isinstance(x, alg.Union):
+        return alg.Union(
+            tuple(_sink_or_attach(filt, b, counts, memo, shared) for b in x.inputs)
+        )
+    if isinstance(x, (alg.Join, alg.Cross)):
+        lschema = frozenset(schema_of(x.left, memo))
+        rschema = frozenset(schema_of(x.right, memo))
+        if cols <= lschema:
+            left = _sink_or_attach(filt, x.left, counts, memo, shared)
+            if isinstance(x, alg.Join):
+                return alg.Join(left, x.right, x.keys)
+            return alg.Cross(left, x.right)
+        if cols <= rschema:
+            right = _sink_or_attach(filt, x.right, counts, memo, shared)
+            if isinstance(x, alg.Join):
+                return alg.Join(x.left, right, x.keys)
+            return alg.Cross(x.left, right)
+        return None
+    if isinstance(x, alg.SemiJoin):
+        left = _sink_or_attach(filt, x.left, counts, memo, shared)
+        return alg.SemiJoin(left, x.right, x.keys)
+    if isinstance(x, alg.Difference):
+        left = _sink_or_attach(filt, x.left, counts, memo, shared)
+        return alg.Difference(left, x.right, x.keys)
+    if isinstance(x, (alg.Map, alg.Atomize)):
+        if x.target in cols:
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return _with_children(x, (child,))
+    if isinstance(x, alg.RowNum):
+        # whole iterations (= ϱ groups) may be filtered without renumbering
+        if x.group is None or not cols <= {x.group} or x.target in cols:
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return alg.RowNum(child, x.target, x.order, x.group)
+    if isinstance(x, alg.Aggr):
+        if x.group is None or not cols <= {x.group}:
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return alg.Aggr(
+            child, x.kind, x.target, x.arg, x.group, x.sep, x.order_col
+        )
+    if isinstance(x, alg.Distinct):
+        if not cols <= set(x.keys):
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return alg.Distinct(child, x.keys, x.order_col)
+    if isinstance(x, alg.StepJoin):
+        if not cols <= {x.iter_col}:
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return alg.StepJoin(child, x.axis, x.test, x.iter_col, x.item_col)
+    if isinstance(x, alg.GenRange):
+        if not cols <= {"iter"}:
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return alg.GenRange(child, x.lo_col, x.hi_col)
+    return None
+
+
+def _sink_map(m, counts, memo) -> alg.Op | None:
+    """Push a ⊛/atomize below ∪ (per branch) or × (onto the side that
+    holds its operands), where it runs over fewer rows and may reach a
+    literal table that ``fold`` can evaluate at compile time."""
+    x = m.child
+    if counts.get(id(x), 1) > 1:
+        return None
+    if m.target in schema_of(x, memo):
+        return None  # overwrite semantics: leave in place
+    args = (
+        frozenset({m.arg})
+        if isinstance(m, alg.Atomize)
+        else _operand_cols(*m.args)
+    )
+    if isinstance(x, alg.Union):
+        branches = []
+        for b in x.inputs:
+            mb = _with_children(m, (b,))
+            sunk = _sink_map(mb, counts, memo)
+            branches.append(sunk if sunk is not None else mb)
+        return alg.Union(tuple(branches))
+    if isinstance(x, alg.Cross):
+        lschema = frozenset(schema_of(x.left, memo))
+        rschema = frozenset(schema_of(x.right, memo))
+        if args <= lschema:
+            ml = _with_children(m, (x.left,))
+            sunk = _sink_map(ml, counts, memo)
+            return alg.Cross(sunk if sunk is not None else ml, x.right)
+        if args <= rschema:
+            mr = _with_children(m, (x.right,))
+            sunk = _sink_map(mr, counts, memo)
+            return alg.Cross(x.left, sunk if sunk is not None else mr)
+    return None
+
+
+# --------------------------------------------------------------------------
+# pass: join recognition (σ= over × / ⋈ becomes an equi-join key)
+# --------------------------------------------------------------------------
+def _join_recognition(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Turn ``σ (a = b)`` over × into ⋈, or add a key to an existing ⋈.
+
+    Sound only for plain numeric columns: equality of item columns
+    follows general-comparison rules (untypedAtomic coerces, ``10`` =
+    ``10.0``) which the surrogate-equality join kernel does not
+    implement, so item operands are left alone.  Exact including row
+    order: the sort-merge join emits matches left-major with ties in
+    right order, which is precisely the filtered cross product.
+    """
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    item_memo: dict[int, frozenset] = {}
+    return _rewrite_bottom_up(
+        root, lambda new: _join_rec_one(new, schema_memo, item_memo)
+    )
+
+
+def _join_rec_one(node: alg.Op, schema_memo, item_memo) -> alg.Op | None:
+    if not isinstance(node, alg.Select) or node.op != "eq":
+        return None
+    child = node.child
+    if not isinstance(child, (alg.Cross, alg.Join)):
+        return None
+    if node.lhs[0] != "col" or node.rhs[0] != "col":
+        return None
+    a, b = node.lhs[1], node.rhs[1]
+    items = _item_cols_of(child, item_memo)
+    if a in items or b in items:
+        return None
+    lschema = frozenset(schema_of(child.left, schema_memo))
+    rschema = frozenset(schema_of(child.right, schema_memo))
+    if a in lschema and b in rschema:
+        key = (a, b)
+    elif b in lschema and a in rschema:
+        key = (b, a)
+    else:
+        return None
+    keys = (child.keys if isinstance(child, alg.Join) else ()) + (key,)
+    return alg.Join(child.left, child.right, keys)
+
+
+# --------------------------------------------------------------------------
+# pass: redundant distinct elimination
+# --------------------------------------------------------------------------
+def _distinct_elim(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Drop δ whose input is provably duplicate-free on its keys.
+
+    The staircase join's post-condition — output duplicate-free and
+    document-ordered per iteration — is the flagship case; the
+    uniqueness facts of :func:`_unique_sets` generalise it through π
+    renames, filters, row numbering and key joins.
+    """
+    unique_memo: dict[int, frozenset] = {}
+
+    def elim(new: alg.Op) -> alg.Op | None:
+        if not isinstance(new, alg.Distinct):
+            return None
+        keys = frozenset(new.keys)
+        if any(u <= keys for u in _unique_sets(new.child, unique_memo)):
+            return new.child
+        return None
+
+    return _rewrite_bottom_up(root, elim)
 
 
 # --------------------------------------------------------------------------
 # pass: projection pruning (icols)
 # --------------------------------------------------------------------------
-def _prune(root: alg.Op) -> alg.Op:
+def _prune(root: alg.Op, est) -> tuple[alg.Op, int]:
     """Required-column (icols) pruning in two passes.
 
     Pass 1 walks parents-before-children accumulating, per node, the union
@@ -362,11 +1157,14 @@ def _prune(root: alg.Op) -> alg.Op:
         for child, child_req in _child_requirements(node, node_req, schema_memo):
             req[id(child)] = req.get(id(child), frozenset()) | child_req
     # pass 2: rebuild bottom-up
+    fired = [0]
     rebuilt: dict[int, alg.Op] = {}
     for node in topo:
-        rebuilt[id(node)] = _prune_rewrite(node, req[id(node)], rebuilt, schema_memo)
+        rebuilt[id(node)] = _prune_rewrite(
+            node, req[id(node)], rebuilt, schema_memo, fired
+        )
     # the root must deliver exactly its original schema
-    return _restrict(rebuilt[id(root)], required, schema_memo)
+    return _restrict(rebuilt[id(root)], required, schema_memo), fired[0]
 
 
 def _child_requirements(op, required, schema_memo):
@@ -447,7 +1245,7 @@ def _operand_cols(*operands) -> frozenset:
     return frozenset(v for tag, v in operands if tag == "col")
 
 
-def _prune_rewrite(op, required, rebuilt, schema_memo):
+def _prune_rewrite(op, required, rebuilt, schema_memo, fired):
     # children were already pruned against their accumulated requirements
     def rec(child, req):
         return rebuilt[id(child)]
@@ -456,6 +1254,7 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
         keep = tuple(c for c in op.schema if c in required) or op.schema[:1]
         if keep == op.schema:
             return op
+        fired[0] += 1
         idx = {name: i for i, name in enumerate(op.schema)}
         rows = tuple(tuple(row[idx[c]] for c in keep) for row in op.rows)
         return alg.Lit(keep, rows, op.item_cols & frozenset(keep))
@@ -464,6 +1263,8 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
         cols = tuple((new, old) for new, old in op.cols if new in required)
         if not cols:
             cols = op.cols[:1]
+        if cols != op.cols:
+            fired[0] += 1
         child_req = frozenset(old for _, old in cols)
         child = rec(op.child, child_req)
         return alg.Project(child, cols)
@@ -518,6 +1319,7 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
 
     if isinstance(op, alg.RowNum):
         if op.target not in required:
+            fired[0] += 1
             return rec(op.child, required)
         child_req = (required - {op.target}) | frozenset(c for c, _ in op.order)
         if op.group:
@@ -527,6 +1329,7 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
 
     if isinstance(op, alg.Map):
         if op.target not in required:
+            fired[0] += 1
             return rec(op.child, required)
         child_req = (required - {op.target}) | _operand_cols(*op.args)
         child = rec(op.child, child_req)
@@ -534,6 +1337,7 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
 
     if isinstance(op, alg.Atomize):
         if op.target not in required:
+            fired[0] += 1
             return rec(op.child, required)
         child_req = (required - {op.target}) | {op.arg}
         child = rec(op.child, child_req)
@@ -572,24 +1376,133 @@ def _prune_rewrite(op, required, rebuilt, schema_memo):
 # --------------------------------------------------------------------------
 # pass: projection merging / identity removal
 # --------------------------------------------------------------------------
-def _merge_projects(root: alg.Op) -> alg.Op:
+def _merge_projects(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Collapse π ∘ π chains and remove identity projections."""
     schema_memo: dict[int, tuple[str, ...]] = {}
+
+    def merge(new: alg.Op) -> alg.Op | None:
+        if not isinstance(new, alg.Project):
+            return None
+        child = new.child
+        if isinstance(child, alg.Project):
+            inner = dict((n, o) for n, o in child.cols)
+            new = alg.Project(
+                child.child, tuple((n, inner[o]) for n, o in new.cols)
+            )
+            child = new.child
+        child_schema = schema_of(child, schema_memo)
+        if tuple(n for n, _ in new.cols) == child_schema and all(
+            n == o for n, o in new.cols
+        ):
+            return child
+        return new
+
+    return _rewrite_bottom_up(root, merge)
+
+
+# --------------------------------------------------------------------------
+# pass: cost-based join input ordering
+# --------------------------------------------------------------------------
+#: only swap when one side is estimated this much larger — estimates are
+#: crude, and each swap costs a schema-restoring projection
+_SWAP_RATIO = 4.0
+
+
+def _order_sensitive(root: alg.Op) -> set[int]:
+    """Ids of nodes whose *physical* row order can influence results.
+
+    Most consumers are insensitive to physical order (filters preserve
+    it, ϱ orders by named columns), but three are not: δ without an
+    ``order_col`` whose keys don't cover the child schema (which
+    duplicate survives depends on row order), order-sensitive aggregates
+    (``str_join``) without an ``order_col``, and ϱ whose order keys +
+    group don't provably determine a unique rank (ties break by physical
+    order).  Everything beneath such a consumer must keep its row order.
+    """
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    unique_memo: dict[int, frozenset] = {}
+    sensitive_roots: list[alg.Op] = []
+    for node in alg.walk(root):
+        if isinstance(node, alg.Distinct) and node.order_col is None:
+            if set(node.keys) < set(schema_of(node.child, schema_memo)):
+                sensitive_roots.append(node.child)
+        elif isinstance(node, alg.Aggr):
+            if node.kind == "str_join" and node.order_col is None:
+                sensitive_roots.append(node.child)
+        elif isinstance(node, alg.RowNum):
+            determined = frozenset(c for c, _ in node.order)
+            if node.group:
+                determined |= {node.group}
+            if not any(
+                u <= determined for u in _unique_sets(node.child, unique_memo)
+            ):
+                sensitive_roots.append(node.child)
+    marked: set[int] = set()
+    stack = sensitive_roots
+    while stack:
+        n = stack.pop()
+        if id(n) in marked:
+            continue
+        marked.add(id(n))
+        stack.extend(n.children)
+    return marked
+
+
+def _join_order(root: alg.Op, est: CardinalityEstimator) -> tuple[alg.Op, int]:
+    """Put the estimated-smaller join input on the right-hand side.
+
+    The sort-merge join kernel sorts its *right* input and probes it with
+    the left, so sorting the smaller side is cheaper.  A swapped join is
+    wrapped in a projection restoring the original column order.  Row
+    order within the join changes, so joins beneath a physical-order-
+    sensitive consumer (see :func:`_order_sensitive`) are left alone.
+    """
+    est_memo: dict = {}
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    sensitive = _order_sensitive(root)
+
+    def reorder(new: alg.Op) -> alg.Op | None:
+        if not isinstance(new, alg.Join):
+            return None
+        left_rows = est.estimate(new.left, est_memo)
+        right_rows = est.estimate(new.right, est_memo)
+        if right_rows <= _SWAP_RATIO * max(left_rows, 1.0):
+            return None
+        original = schema_of(new, schema_memo)
+        swapped = alg.Join(new.right, new.left, tuple((r, l) for l, r in new.keys))
+        return alg.Project(swapped, tuple((c, c) for c in original))
+
+    # sensitivity is keyed by the ids of the *original* nodes, so this
+    # pass keeps its own loop instead of using _rewrite_bottom_up
     rebuilt: dict[int, alg.Op] = {}
+    fired = 0
     for node in alg.walk(root):
         children = tuple(rebuilt[id(c)] for c in node.children)
         new = _with_children(node, children)
-        if isinstance(new, alg.Project):
-            child = new.child
-            if isinstance(child, alg.Project):
-                inner = dict((n, o) for n, o in child.cols)
-                new = alg.Project(
-                    child.child, tuple((n, inner[o]) for n, o in new.cols)
-                )
-                child = new.child
-            child_schema = schema_of(child, schema_memo)
-            if tuple(n for n, _ in new.cols) == child_schema and all(
-                n == o for n, o in new.cols
-            ):
-                new = child
+        if id(node) not in sensitive:
+            replacement = reorder(new)
+            if replacement is not None:
+                new = replacement
+                fired += 1
         rebuilt[id(node)] = new
-    return rebuilt[id(root)]
+    return rebuilt[id(root)], fired
+
+
+# --------------------------------------------------------------------------
+# the registry
+# --------------------------------------------------------------------------
+#: the default pipeline, in application order
+PASSES: tuple[RewritePass, ...] = (
+    RewritePass("cse", "share structurally identical subplans", _cse),
+    RewritePass("fold", "evaluate σ/π/∪ over literals, propagate empty inputs", _fold),
+    RewritePass("fuse_select", "fuse σ(t=true) with the ⊛ comparison feeding it", _fuse_select),
+    RewritePass("pushdown", "push σ/⋉ below π, ⋈, ×, ⊛, ∪, ϱ, δ, aggregates, steps", _pushdown),
+    RewritePass("join_recognition", "turn σ= over × into an equi-join", _join_recognition),
+    RewritePass("distinct_elim", "drop δ over provably duplicate-free input", _distinct_elim),
+    RewritePass("prune", "keep only columns an ancestor consumes (icols)", _prune),
+    RewritePass("merge_projects", "collapse π∘π, remove identity π", _merge_projects),
+    RewritePass("join_order", "sort the estimated-smaller join input", _join_order),
+)
+
+#: names of all registered passes, in pipeline order
+PASS_NAMES: tuple[str, ...] = tuple(p.name for p in PASSES)

@@ -46,23 +46,27 @@ class Table:
     # --------------------------------------------------------------- build
     @classmethod
     def empty(cls, names: Iterable[str]) -> "Table":
+        """A zero-row table with the given column names."""
         return cls({name: _EMPTY for name in names})
 
     # ----------------------------------------------------------- structure
     @property
     def num_rows(self) -> int:
+        """Number of rows (every column has this length)."""
         for col in self.columns.values():
             return len(col)
         return 0
 
     @property
     def schema(self) -> tuple[str, ...]:
+        """Column names, in insertion order."""
         return tuple(self.columns)
 
     def __len__(self) -> int:
         return self.num_rows
 
     def col(self, name: str) -> Column:
+        """The column ``name`` (numeric array or :class:`ItemColumn`)."""
         try:
             return self.columns[name]
         except KeyError:
@@ -92,6 +96,7 @@ class Table:
         return Table(out)
 
     def with_column(self, name: str, col: Column) -> "Table":
+        """A copy with column ``name`` added (or replaced)."""
         out = dict(self.columns)
         out[name] = col
         return Table(out)

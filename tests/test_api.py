@@ -163,6 +163,19 @@ class TestPlanCache:
         db.connect(use_join_recognition=True).prepare(q)
         assert not db.connect(use_join_recognition=False).prepare(q).from_cache
 
+    def test_disabled_passes_are_part_of_the_key(self, db):
+        q = "count(/r/v)"
+        db.connect().prepare(q)
+        off = db.connect(disabled_passes={"pushdown"})
+        assert not off.prepare(q).from_cache
+        assert off.prepare(q).from_cache  # same config hits its own entry
+
+    def test_disabled_pass_absent_from_stats(self, db):
+        session = db.connect(disabled_passes={"pushdown"})
+        entry = session.prepare("count(/r/v)")._entry
+        assert "pushdown" not in {p.name for p in entry.stats.pass_stats}
+        assert "cse" in {p.name for p in entry.stats.pass_stats}
+
     def test_session_stats_track_cache_traffic(self, db):
         session = db.connect()
         session.execute("count(/r/v)")

@@ -37,6 +37,24 @@ class TestCLI:
         )
         assert code == 0
         assert "# plan:" in out and "⤲" in out
+        # per-pass statistics ride along
+        assert "# optimizer passes:" in out
+        assert "pushdown" in out and "join_order" in out
+
+    def test_disable_pass(self, doc_file):
+        code, out = run_cli(
+            [
+                "-q", "count(//a)", "--doc", f"d.xml={doc_file}",
+                "--disable-pass", "pushdown", "--disable-pass", "join_order",
+            ]
+        )
+        assert code == 0 and out.strip() == "2"
+
+    def test_disable_unknown_pass_rejected(self, doc_file):
+        code, _ = run_cli(
+            ["-q", "1", "--doc", f"d.xml={doc_file}", "--disable-pass", "nope"]
+        )
+        assert code == 2
 
     def test_mil(self, doc_file):
         code, out = run_cli(["-q", "1+1", "--doc", f"d.xml={doc_file}", "--mil"])

@@ -1,0 +1,18 @@
+"""The docs job's checks, enforced by tier-1 too: markdown links in
+README/docs must resolve and the relational layer must be fully
+docstringed (mirrors the CI ruff pydocstyle job)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from check_docs import check_docstrings, check_links  # noqa: E402
+
+
+def test_markdown_links_resolve():
+    assert check_links() == []
+
+
+def test_relational_layer_docstrings_complete():
+    assert check_docstrings() == []

@@ -56,8 +56,9 @@ class TestReports:
         assert "110 120" in out and "operators" in out
 
     def test_optimizer_report_lines(self):
-        out = self._run(report.report_optimizer)
+        out = self._run(report.report_optimizer, ablation_scale=0.0005, ablation_reps=1)
         assert out.count("%") >= 20  # one reduction per query
+        assert "pass ablation" in out and "pushdown" in out
 
     def test_table3_single_scale(self):
         out = self._run(report.report_table3, scales=(0.0005,), timeout=10.0)

@@ -1,10 +1,18 @@
-"""Tests for the peephole optimizer: semantics preservation + reductions."""
+"""Tests for the rewrite-pass optimizer: semantics preservation, the
+cost-aware passes (pushdown, join recognition, distinct elimination,
+join ordering) and per-pass statistics."""
+
+import pytest
 
 from repro.encoding.arena import NodeArena
+from repro.encoding.axes import ANY_ELEMENT, Axis
+from repro.errors import AlgebraError
 from repro.relational import algebra as alg
 from repro.relational.algebra import col, const
 from repro.relational.evaluate import EvalContext, evaluate
 from repro.relational.optimizer import (
+    PASS_NAMES,
+    CardinalityEstimator,
     OptimizerStats,
     optimize,
     schema_of,
@@ -136,6 +144,331 @@ class TestRewrites:
         e = alg.ElemConstr(names, content)
         out = optimize(e)
         assert any(isinstance(op, alg.ElemConstr) for op in alg.walk(out))
+
+
+def _num_lit(name: str, n: int, extra: tuple[str, ...] = ()) -> alg.Lit:
+    """A literal with ``n`` rows of distinct ints in plain column ``name``."""
+    cols = (name,) + extra
+    return alg.Lit(cols, tuple((i,) * len(cols) for i in range(n)))
+
+
+class TestFuseSelect:
+    def test_comparison_map_becomes_selection(self):
+        m = alg.Map(LIT, "ge", "cmp", (col("pos"), const(2)))
+        s = alg.Select(m, "eq", col("cmp"), const(True))
+        p = alg.Project(s, (("item", "item"),))
+        out = optimize(p, disabled={"fold"})
+        # the boolean column is dead, so the ⊛ disappears entirely and
+        # the comparison runs as the σ predicate
+        selects = [op for op in alg.walk(out) if isinstance(op, alg.Select)]
+        assert any(op.op == "ge" for op in selects)
+        assert all(not isinstance(op, alg.Map) for op in alg.walk(out))
+        # with folding on, the whole pipeline evaluates at compile time
+        assert isinstance(optimize(p), alg.Lit)
+        same_result(p)
+
+    def test_negated_equality_fuses(self):
+        m = alg.Map(LIT, "eq", "cmp", (col("pos"), const(1)))
+        s = alg.Select(m, "eq", col("cmp"), const(False))
+        p = alg.Project(s, (("item", "item"),))
+        out = optimize(p, disabled={"fold"})
+        selects = [op for op in alg.walk(out) if isinstance(op, alg.Select)]
+        assert any(op.op == "ne" for op in selects)
+        same_result(p)
+
+    def test_ordering_comparison_not_negated(self):
+        """NaN makes ¬(a < b) ≠ (a ≥ b); the rewrite must not fire."""
+        m = alg.Map(LIT, "lt", "cmp", (col("pos"), const(2)))
+        s = alg.Select(m, "eq", col("cmp"), const(False))
+        out = optimize(alg.Project(s, (("item", "item"),)))
+        assert all(
+            op.op not in ("lt", "ge") for op in alg.walk(out)
+            if isinstance(op, alg.Select)
+        )
+        same_result(s)
+
+
+class TestPushdown:
+    def test_select_below_join(self):
+        left = _num_lit("a", 5, ("v",))
+        right = _num_lit("b", 5)
+        j = alg.Join(left, right, (("a", "b"),))
+        s = alg.Select(j, "ge", col("v"), const(2))
+        out = optimize(s, disabled={"fold"})
+        # the σ must now sit below the ⋈, on the left input
+        joins = [op for op in alg.walk(out) if isinstance(op, alg.Join)]
+        assert joins and all(
+            not isinstance(op, alg.Select)
+            or all(not isinstance(c, alg.Join) for c in op.children)
+            for op in alg.walk(out)
+        )
+        same_result(s)
+
+    def test_select_below_union_and_folds(self):
+        u = alg.Union((alg.Lit(("a",), ((1,), (2,))), alg.Lit(("a",), ((3,),))))
+        s = alg.Select(u, "ge", col("a"), const(2))
+        out = optimize(s)
+        assert isinstance(out, alg.Lit)
+        assert out.rows == ((2,), (3,))
+
+    def test_select_not_pushed_into_shared_subplan(self):
+        big = alg.Join(_num_lit("a", 4, ("v",)), _num_lit("b", 4), (("a", "b"),))
+        filtered = alg.Select(big, "eq", col("v"), const(1))
+        both = alg.Union(
+            (
+                alg.Project(filtered, (("a", "a"),)),
+                alg.Project(big, (("a", "a"),)),
+            )
+        )
+        out = optimize(both, disabled={"fold"})
+        # `big` has two consumers: the σ must stay above it, not fork it
+        joins = [op for op in alg.walk(out) if isinstance(op, alg.Join)]
+        assert len(joins) == 1
+        same_result(both)
+
+    def test_semijoin_below_stepjoin(self, small_arena):
+        arena, doc = small_arena
+        ctx_lit = alg.Lit(("iter", "item"), ((1, doc), (2, doc)))
+        step = alg.StepJoin(ctx_lit, Axis.DESCENDANT, ANY_ELEMENT)
+        keep = alg.Lit(("k",), ((1,),))
+        semi = alg.SemiJoin(step, keep, (("iter", "k"),))
+        out = optimize(semi, disabled={"fold"})
+        # the ⋉ restricts whole iterations, so it sinks below the step
+        steps = [op for op in alg.walk(out) if isinstance(op, alg.StepJoin)]
+        assert steps and isinstance(steps[0].child, (alg.SemiJoin, alg.Lit))
+        t1 = evaluate(semi, EvalContext(arena))
+        t2 = evaluate(out, EvalContext(arena))
+        assert sorted(map(tuple, zip(t1.num("iter"), t1.item("item").data))) == \
+            sorted(map(tuple, zip(t2.num("iter"), t2.item("item").data)))
+
+    def test_no_fork_below_shared_projection(self):
+        """Regression: a filter passing through a *shared* π must not
+        rebuild the expensive operators underneath it — the original
+        still runs for the other consumer."""
+        join = alg.Join(_num_lit("a", 4, ("v",)), _num_lit("b", 4), (("a", "b"),))
+        proj = alg.Project(join, (("a", "a"), ("v", "v")))
+        filtered = alg.Select(proj, "eq", col("v"), const(1))
+        both = alg.Union(
+            (alg.Project(filtered, (("a", "a"),)), alg.Project(proj, (("a", "a"),)))
+        )
+        out = optimize(both, disabled={"fold"})
+        assert sum(1 for op in alg.walk(out) if isinstance(op, alg.Join)) == 1
+        same_result(both)
+
+    def test_sunk_subtree_inherits_parent_count(self):
+        """Regression: a *shared* σ that sinks must register its rewritten
+        subtree as shared, or a later filter forks the join below it."""
+        join = alg.Join(_num_lit("a", 4, ("v", "u")), _num_lit("b", 4), (("a", "b"),))
+        proj = alg.Project(join, (("a", "a"), ("v", "v"), ("u", "u")))
+        shared_sel = alg.Select(proj, "eq", col("v"), const(1))
+        upper = alg.Select(shared_sel, "eq", col("u"), const(1))
+        both = alg.Union(
+            (
+                alg.Project(upper, (("a", "a"),)),
+                alg.Project(shared_sel, (("a", "a"),)),
+            )
+        )
+        out = optimize(both, disabled={"fold"})
+        assert sum(1 for op in alg.walk(out) if isinstance(op, alg.Join)) == 1
+        same_result(both)
+
+    def test_map_sinks_through_cross_onto_literal(self):
+        big = _num_lit("a", 6)
+        one = alg.Lit(("b",), ((7,),))
+        m = alg.Map(alg.Cross(big, one), "ge", "t", (col("b"), const(5)))
+        s = alg.Select(m, "eq", col("t"), const(True))
+        out = optimize(alg.Project(s, (("a", "a"),)))
+        # ⊛ and σ both collapse into the literal: only the Cross remains
+        assert all(
+            not isinstance(op, (alg.Map, alg.Select)) for op in alg.walk(out)
+        )
+        same_result(s)
+
+
+class TestJoinRecognition:
+    def test_select_over_cross_becomes_join(self):
+        left = _num_lit("a", 4, ("v",))
+        right = _num_lit("b", 4)
+        s = alg.Select(alg.Cross(left, right), "eq", col("a"), col("b"))
+        out = optimize(s, disabled={"fold"})
+        joins = [op for op in alg.walk(out) if isinstance(op, alg.Join)]
+        assert joins and joins[0].keys == (("a", "b"),)
+        assert all(not isinstance(op, alg.Cross) for op in alg.walk(out))
+        same_result(s)
+
+    def test_extra_key_added_to_existing_join(self):
+        left = _num_lit("a", 4, ("v",))
+        right = _num_lit("b", 4, ("w",))
+        j = alg.Join(left, right, (("a", "b"),))
+        s = alg.Select(j, "eq", col("v"), col("w"))
+        out = optimize(s, disabled={"fold"})
+        joins = [op for op in alg.walk(out) if isinstance(op, alg.Join)]
+        assert joins and set(joins[0].keys) == {("a", "b"), ("v", "w")}
+        same_result(s)
+
+    def test_item_columns_not_recognized(self):
+        """General comparison ≠ surrogate equality for polymorphic items."""
+        left = alg.Lit(("a",), ((1,), (2,)), frozenset({"a"}))
+        right = alg.Lit(("b",), ((1,), (True,)), frozenset({"b"}))
+        s = alg.Select(alg.Cross(left, right), "eq", col("a"), col("b"))
+        out = optimize(s, disabled={"fold"})
+        assert all(not isinstance(op, alg.Join) for op in alg.walk(out))
+        same_result(s)
+
+
+class TestDistinctElim:
+    def test_distinct_over_stepjoin_removed(self, small_arena):
+        arena, doc = small_arena
+        ctx_lit = alg.Lit(("iter", "item"), ((1, doc),))
+        step = alg.StepJoin(ctx_lit, Axis.DESCENDANT, ANY_ELEMENT)
+        d = alg.Distinct(step, ("iter", "item"))
+        out = optimize(d)
+        assert all(not isinstance(op, alg.Distinct) for op in alg.walk(out))
+        t1 = evaluate(d, EvalContext(arena))
+        t2 = evaluate(out, EvalContext(arena))
+        assert list(t1.item("item").data) == list(t2.item("item").data)
+
+    def test_partial_key_distinct_kept(self, small_arena):
+        arena, doc = small_arena
+        ctx_lit = alg.Lit(("iter", "item"), ((1, doc),))
+        step = alg.StepJoin(ctx_lit, Axis.DESCENDANT, ANY_ELEMENT)
+        d = alg.Distinct(alg.Project(step, (("iter", "iter"),)), ("iter",))
+        out = optimize(d)
+        assert any(isinstance(op, alg.Distinct) for op in alg.walk(out))
+
+    def test_distinct_over_distinct_removed(self):
+        inner = alg.Distinct(LIT, ("iter", "pos"))
+        outer = alg.Distinct(inner, ("iter", "pos"))
+        out = optimize(outer)
+        assert sum(1 for op in alg.walk(out) if isinstance(op, alg.Distinct)) == 1
+        same_result(outer)
+
+    def test_genrange_over_duplicate_iters_keeps_distinct(self):
+        """Regression: GenRange output is only unique per iteration when
+        the input loop relation is — δ above it must survive otherwise."""
+        dup = alg.Lit(("iter", "lo", "hi"), ((1, 1, 3), (1, 1, 3)))
+        d = alg.Distinct(alg.GenRange(dup, "lo", "hi"), ("iter", "item"))
+        out = optimize(d, disabled={"fold"})
+        assert any(isinstance(op, alg.Distinct) for op in alg.walk(out))
+        same_result(d)
+
+    def test_genrange_over_unique_iters_drops_distinct(self):
+        uniq = alg.Distinct(
+            alg.Lit(("iter", "lo", "hi"), ((1, 1, 3), (2, 1, 2))), ("iter",)
+        )
+        d = alg.Distinct(alg.GenRange(uniq, "lo", "hi"), ("iter", "item"))
+        out = optimize(d, disabled={"fold"})
+        assert (
+            sum(1 for op in alg.walk(out) if isinstance(op, alg.Distinct)) == 1
+        )
+        same_result(d)
+
+    def test_map_overwrite_invalidates_uniqueness(self):
+        """Regression: ⊛ overwriting a column of a uniqueness set must not
+        let distinct_elim drop a still-needed δ."""
+        base = alg.Lit(("a", "t"), ((1, 10), (1, 20)))  # unique on {a, t}
+        m = alg.Map(base, "eq", "t", (col("a"), const(1)))  # t := const
+        d = alg.Distinct(m, ("a", "t"))
+        out = optimize(d, disabled={"fold"})
+        assert any(isinstance(op, alg.Distinct) for op in alg.walk(out))
+        same_result(d)
+
+
+class TestJoinOrder:
+    def test_larger_right_input_swapped(self):
+        small = _num_lit("a", 2)
+        big = _num_lit("b", 64, ("w",))
+        j = alg.Join(small, big, (("a", "b"),))
+        out = optimize(j, disabled={"fold"})
+        joins = [op for op in alg.walk(out) if isinstance(op, alg.Join)]
+        assert joins and joins[0].keys == (("b", "a"),)
+        assert schema_of(out) == ("a", "b", "w")
+        same_result(j)
+
+    def test_balanced_join_untouched(self):
+        l, r = _num_lit("a", 8), _num_lit("b", 8)
+        j = alg.Join(l, r, (("a", "b"),))
+        out = optimize(j, disabled={"fold"})
+        joins = [op for op in alg.walk(out) if isinstance(op, alg.Join)]
+        assert joins and joins[0].keys == (("a", "b"),)
+
+    def test_no_swap_below_order_sensitive_distinct(self):
+        """Regression: δ without order_col keeps the first *physical* row
+        per key, so a join feeding it must not be reordered."""
+        left = alg.Lit(("a", "u"), ((2, 7), (1, 7)))
+        right = alg.Lit(
+            ("b", "w"), tuple((i % 2 + 1, 100 + i % 2) for i in range(16))
+        )
+        j = alg.Join(left, right, (("a", "b"),))
+        d = alg.Distinct(j, ("u",))
+        out = optimize(d, disabled={"fold"})
+        r1 = evaluate(d, EvalContext(NodeArena()))
+        r2 = evaluate(out, EvalContext(NodeArena()))
+        rows1 = sorted(zip(r1.num("a"), r1.num("w")))
+        rows2 = sorted(zip(r2.num("a"), r2.num("w")))
+        assert rows1 == rows2
+
+
+class TestEstimator:
+    def test_leaf_estimates(self):
+        est = CardinalityEstimator()
+        assert est.estimate(_num_lit("a", 7)) == 7.0
+        assert est.estimate(alg.DocRoot("d.xml")) == 1.0
+        cross = alg.Cross(_num_lit("a", 3), _num_lit("b", 4))
+        assert est.estimate(cross) == 12.0
+
+    def test_from_database_seeds_doc_rows(self, small_arena):
+        arena, doc = small_arena
+        est = CardinalityEstimator.from_database(arena, {"doc.xml": doc})
+        assert est.doc_rows["doc.xml"] == float(arena.size[doc]) + 1.0
+        assert est.child_fanout >= 2.0
+
+    def test_doc_anchored_descendant_step_estimates_doc_size(self, small_arena):
+        arena, doc = small_arena
+        est = CardinalityEstimator.from_database(arena, {"doc.xml": doc})
+        anchored = alg.StepJoin(
+            alg.Project(alg.DocRoot("doc.xml"), (("iter", "iter"), ("item", "item"))),
+            Axis.DESCENDANT,
+            ANY_ELEMENT,
+        )
+        assert est.estimate(anchored) >= est.doc_rows["doc.xml"]
+        floating = alg.StepJoin(
+            alg.Lit(("iter", "item"), ((1, doc),)), Axis.DESCENDANT, ANY_ELEMENT
+        )
+        assert est.estimate(floating) == est.descendant_fanout
+
+
+class TestPassFramework:
+    def test_unknown_disabled_pass_rejected(self):
+        with pytest.raises(AlgebraError, match="unknown optimizer pass"):
+            optimize(LIT, disabled={"nonsense"})
+
+    def test_pass_stats_reported(self):
+        plan = alg.Select(
+            alg.Project(LIT, (("iter", "iter"), ("pos", "pos"))),
+            "eq", col("pos"), const(1),
+        )
+        stats = OptimizerStats()
+        optimize(plan, stats)
+        assert [p.name for p in stats.pass_stats] == list(PASS_NAMES)
+        table = stats.pass_table()
+        for name in PASS_NAMES:
+            assert name in table
+        assert stats.estimated_rows is not None
+
+    def test_disabled_pass_not_run(self):
+        plan = alg.Select(LIT, "eq", col("pos"), const(1))
+        stats = OptimizerStats()
+        optimize(plan, stats, disabled={"pushdown"})
+        assert "pushdown" not in {p.name for p in stats.pass_stats}
+
+    def test_trace_receives_snapshots(self):
+        plan = LIT
+        for _ in range(3):
+            plan = alg.Project(plan, (("iter", "iter"), ("pos", "pos"), ("item", "item")))
+        trace: list = []
+        optimize(plan, trace=trace)
+        assert trace and all(name in PASS_NAMES for name, _ in trace)
 
 
 class TestStats:

@@ -84,6 +84,13 @@ BATTERY = [
     "(1,2) = (2,3)",
     "(1,2) != (1,2)",
     "declare function local:f($x) { $x * 2 }; local:f(4)",
+    # rewrite-pass shapes: pushdown through unions/crosses, fused
+    # comparisons, value joins, swapped join inputs (join_order)
+    "for $x in //a where $x/text() = '2' return $x/@i",
+    "for $x in /site/a for $y in /site/nest//a "
+    "where $x/text() = $y/text() return ($x, $y)",
+    "(1 to 8)[. mod 3 = 1]",
+    "count(for $v in (1,2,3,4) where $v >= 2 return $v * 10)",
 ]
 
 
