@@ -10,6 +10,7 @@ Usage::
     python benchmarks/report.py optimizer  # E6 plan-size reductions
     python benchmarks/report.py joins      # E7 join-recognition ablation
     python benchmarks/report.py prepared   # plan-cache amortization
+    python benchmarks/report.py serve      # HTTP serving throughput sweep
     python benchmarks/report.py all
 """
 
@@ -224,6 +225,12 @@ def report_prepared():
     run()
 
 
+def report_serve():
+    from benchmarks.bench_serve import report_serve as run
+
+    run()
+
+
 REPORTS = {
     "table3": report_table3,
     "figure4": report_figure4,
@@ -234,6 +241,7 @@ REPORTS = {
     "joins": report_joins,
     "sqlhost": report_sqlhost,
     "prepared": report_prepared,
+    "serve": report_serve,
 }
 
 

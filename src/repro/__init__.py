@@ -24,15 +24,21 @@ Public entry points (layered API)::
   :class:`repro.api.PreparedQuery`.
 * :class:`repro.engine.PathfinderEngine` — the legacy monolithic API,
   kept as a thin shim over the layers above.
+* :mod:`repro.server` — the HTTP serving subsystem (``python -m repro
+  serve``): worker pool, deadlines, hot document management.
 * :class:`repro.baseline.interpreter.Interpreter` — the conventional
   nested-loop XQuery interpreter used as the X-Hive-shaped baseline.
 * :mod:`repro.xmark` — the XMark benchmark generator and queries.
+
+The API layer is safe for concurrent use: one ``Database`` may be
+shared by many sessions on many threads (see
+:mod:`repro.api.concurrency` and ``docs/serving.md``).
 """
 
 from repro.api import Database, PlanCache, PreparedQuery, Session, connect
 from repro.engine import ExplainReport, PathfinderEngine, QueryResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "connect",

@@ -17,6 +17,11 @@ Options mirror the demo's "under the hood" hooks: ``--explain`` prints
 the plan stages, ``--mil`` the generated MIL program, ``--baseline``
 cross-checks against the nested-loop interpreter, ``--xmark SCALE``
 loads a generated XMark instance instead of files.
+
+Serving mode (``python -m repro serve --xmark 0.002 --port 8080``)
+starts the HTTP query service instead of running one query; its options
+live in :mod:`repro.server.cli` and its operations guide in
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -142,7 +147,13 @@ def coerce_binding(raw: str, type_name: str | None) -> object:
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point: one-shot query mode, or the ``serve`` subcommand."""
     out = out or sys.stdout
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        from repro.server.cli import serve_main
+
+        return serve_main(argv[1:], out=out)
     args = build_parser().parse_args(argv)
 
     if args.query:

@@ -12,10 +12,17 @@
 * :class:`~repro.api.prepared.QueryResult` serialises lazily and
   iterates the result sequence without materialising the text form.
 
+The layer is thread-safe for concurrent serving: the Database guards its
+catalog with a readers/writer lock (:mod:`repro.api.concurrency`), the
+plan cache is an internally-locked LRU with single-flight compilation,
+and sessions share nothing mutable with each other — one session per
+thread needs no extra locking.
+
 The legacy :class:`repro.engine.PathfinderEngine` is a thin shim over
 these layers.
 """
 
+from repro.api.concurrency import RWLock, SingleFlight
 from repro.api.database import Database, connect
 from repro.api.plan_cache import CachedPlan, PlanCache, PlanCacheStats
 from repro.api.prepared import PreparedQuery, QueryResult
@@ -30,5 +37,7 @@ __all__ = [
     "PlanCache",
     "PlanCacheStats",
     "CachedPlan",
+    "RWLock",
+    "SingleFlight",
     "connect",
 ]

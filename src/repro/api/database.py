@@ -23,13 +23,33 @@ Document catalog semantics:
 * every load/replace bumps the document's *epoch*; the plan cache
   revalidates entries against these epochs, so only plans reading a
   changed document recompile.
+
+Concurrency model (the serving contract):
+
+* the catalog is guarded by a write-preferring
+  :class:`~repro.api.concurrency.RWLock` — query compilation and
+  execution hold it *shared*, ``load_document`` / ``unload_document`` /
+  ``set_default_document`` hold it *exclusive*.  A hot document replace
+  therefore waits for in-flight queries, then swaps the catalog entry
+  and bumps the epoch before the next query starts: readers never see a
+  torn catalog.
+* plan compilation is *single-flight*: N sessions racing on the same
+  cache key compile the plan once (the others wait and adopt the
+  result), so a cache-invalidating replace does not trigger a
+  compilation stampede.
+* sessions share nothing mutable with each other — settings, variable
+  bindings and statistics are per-:class:`~repro.api.session.Session` —
+  so each server worker (or client thread) owning its own session needs
+  no further locking.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 
+from repro.api.concurrency import RWLock, SingleFlight
 from repro.api.plan_cache import CachedPlan, PlanCache, plan_documents
 from repro.compiler.loop_lifting import Compiler
 from repro.encoding.arena import NodeArena
@@ -47,7 +67,8 @@ from repro.xquery.parser import parse_query
 
 
 class Database:
-    """Documents + arena + plan cache; the shared layer of the API."""
+    """Documents + arena + plan cache; the shared, thread-safe layer of
+    the API (see the module docstring for the locking contract)."""
 
     def __init__(self, plan_cache_size: int = 128):
         self.arena = NodeArena()
@@ -58,9 +79,23 @@ class Database:
         self._default_explicit = False
         self._epoch_counter = itertools.count(1)
         self._xml_bytes = 0
+        # catalog lock: queries shared, load/unload/replace exclusive
+        self._rwlock = RWLock()
+        # duplicate suppression for concurrent same-key compilations
+        self._flight = SingleFlight()
+        self._estimator_lock = threading.Lock()
         # arena statistics for the optimizer, rebuilt when the catalog
         # changes (same invalidation points as the plan cache)
         self._estimator: CardinalityEstimator | None = None
+
+    def read_locked(self):
+        """Context manager holding the catalog lock shared.
+
+        Execution paths (``PreparedQuery.execute``, ``Session.explain``)
+        use this so no catalog mutation lands mid-query; reentrant per
+        thread, so nested API calls are safe.
+        """
+        return self._rwlock.read_locked()
 
     # ------------------------------------------------------------ documents
     @property
@@ -77,10 +112,11 @@ class Database:
 
     def set_default_document(self, uri: str) -> None:
         """Explicitly pick the document absolute paths resolve against."""
-        if uri not in self.documents:
-            raise PathfinderError(f"document {uri!r} is not loaded")
-        self._default_document = uri
-        self._default_explicit = True
+        with self._rwlock.write_locked():
+            if uri not in self.documents:
+                raise PathfinderError(f"document {uri!r} is not loaded")
+            self._default_document = uri
+            self._default_explicit = True
 
     def load_document(
         self,
@@ -93,7 +129,31 @@ class Database:
 
         ``replace=True`` allows re-loading an existing URI: the catalog
         entry is swapped and cached plans reading it are invalidated.
+        The swap is atomic for concurrent readers — it runs under the
+        exclusive catalog lock, so every query sees either the old or
+        the new tree, never a partially shredded one.
         """
+        with self._rwlock.write_locked():
+            return self._load_document_locked(uri, xml_text, default, replace)
+
+    def replace_document(self, uri: str, xml_text: str) -> dict:
+        """Load-or-replace in one exclusive hold (the ``PUT /documents``
+        semantics): returns uri, node count, whether an existing entry
+        was replaced, and the new epoch — all observed atomically."""
+        with self._rwlock.write_locked():
+            replaced = uri in self.documents
+            nodes = self._load_document_locked(uri, xml_text, False, True)
+            return {
+                "uri": uri,
+                "nodes": nodes,
+                "replaced": replaced,
+                "epoch": self.doc_epochs[uri],
+            }
+
+    def _load_document_locked(
+        self, uri: str, xml_text: str, default: bool, replace: bool
+    ) -> int:
+        """The load/replace body; caller holds the catalog lock exclusive."""
         if uri in self.documents:
             if not replace:
                 raise PathfinderError(
@@ -122,19 +182,34 @@ class Database:
         The shredded rows remain in the arena (append-only encoding);
         the document merely stops being addressable by queries.
         """
-        if uri not in self.documents:
-            raise PathfinderError(f"document {uri!r} is not loaded")
-        del self.documents[uri]
-        del self.doc_epochs[uri]
-        self._estimator = None
-        self.plan_cache.invalidate_document(uri)
-        if self._default_document == uri:
-            self._default_document = None
-            self._default_explicit = False
+        with self._rwlock.write_locked():
+            if uri not in self.documents:
+                raise PathfinderError(f"document {uri!r} is not loaded")
+            del self.documents[uri]
+            del self.doc_epochs[uri]
+            self._estimator = None
+            self.plan_cache.invalidate_document(uri)
+            if self._default_document == uri:
+                self._default_document = None
+                self._default_explicit = False
 
     def storage_report(self) -> StorageReport:
         """Byte-level storage accounting (Section 3.1 experiment)."""
         return measure_storage(self.arena, self._xml_bytes)
+
+    def catalog_snapshot(self) -> list[dict]:
+        """One consistent view of the catalog (the ``/documents`` endpoint):
+        per document its URI, node count, load epoch and default flag."""
+        with self._rwlock.read_locked():
+            return [
+                {
+                    "uri": uri,
+                    "nodes": int(self.arena.size[root]) + 1,
+                    "epoch": self.doc_epochs[uri],
+                    "default": uri == self._default_document,
+                }
+                for uri, root in sorted(self.documents.items())
+            ]
 
     # ------------------------------------------------------------- sessions
     def connect(
@@ -143,9 +218,12 @@ class Database:
         use_optimizer: bool = True,
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] | tuple = frozenset(),
+        backend: str = "numpy",
     ) -> "Session":
         """Open a new session (per-client execution context) over this
-        database."""
+        database.  ``backend`` picks the evaluator ("numpy" or
+        "sqlhost"; the SQL host falls back to numpy per query when a
+        plan is outside its dialect)."""
         from repro.api.session import Session
 
         return Session(
@@ -154,6 +232,7 @@ class Database:
             use_optimizer=use_optimizer,
             use_join_recognition=use_join_recognition,
             disabled_passes=disabled_passes,
+            backend=backend,
         )
 
     # ------------------------------------------------------------- compiler
@@ -164,6 +243,8 @@ class Database:
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] = frozenset(),
     ) -> tuple:
+        """The plan-cache key: query text + compiler settings + the
+        default document absolute paths were resolved against."""
         return (
             query,
             use_optimizer,
@@ -186,40 +267,55 @@ class Database:
         :data:`repro.relational.optimizer.PASS_NAMES`); cardinality
         estimates are seeded from this database's arena statistics.
         """
-        t0 = time.perf_counter()
-        module = parse_query(query)
-        core = desugar_module(module)
-        compiler = Compiler(
-            self.documents,
-            self._default_document,
-            use_join_recognition=use_join_recognition,
-        )
-        plan = compiler.compile_module(core)
-        # record document dependencies from the unoptimized plan: rewrites
-        # may drop a DocRoot leaf, but the query still depends on it
-        doc_deps = plan_documents(plan)
-        stats = OptimizerStats()
-        if use_optimizer:
-            if self._estimator is None:
-                self._estimator = CardinalityEstimator.from_database(
-                    self.arena, self.documents
-                )
-            plan = optimize(
-                plan, stats, disabled=disabled_passes, estimator=self._estimator
+        with self._rwlock.read_locked():
+            t0 = time.perf_counter()
+            module = parse_query(query)
+            core = desugar_module(module)
+            compiler = Compiler(
+                self.documents,
+                self._default_document,
+                use_join_recognition=use_join_recognition,
             )
-        else:
-            stats.ops_before = stats.ops_after = alg.op_count(plan)
-        return CachedPlan(
-            query=query,
-            plan=plan,
-            stats=stats,
-            external_vars=tuple(core.external_vars),
-            module=module,
-            core=core,
-            doc_epochs={uri: self.doc_epochs[uri] for uri in doc_deps},
-            compile_seconds=time.perf_counter() - t0,
-            default_document=self._default_document,
-        )
+            plan = compiler.compile_module(core)
+            # record document dependencies from the unoptimized plan:
+            # rewrites may drop a DocRoot leaf, but the query still
+            # depends on it
+            doc_deps = plan_documents(plan)
+            stats = OptimizerStats()
+            if use_optimizer:
+                plan = optimize(
+                    plan,
+                    stats,
+                    disabled=disabled_passes,
+                    estimator=self._get_estimator(),
+                )
+            else:
+                stats.ops_before = stats.ops_after = alg.op_count(plan)
+            return CachedPlan(
+                query=query,
+                plan=plan,
+                stats=stats,
+                external_vars=tuple(core.external_vars),
+                module=module,
+                core=core,
+                doc_epochs={uri: self.doc_epochs[uri] for uri in doc_deps},
+                compile_seconds=time.perf_counter() - t0,
+                default_document=self._default_document,
+            )
+
+    def _get_estimator(self) -> CardinalityEstimator:
+        """The cached arena statistics, rebuilt (once) after a catalog
+        change; double-checked so racing compilers build it one time."""
+        estimator = self._estimator
+        if estimator is None:
+            with self._estimator_lock:
+                estimator = self._estimator
+                if estimator is None:
+                    estimator = CardinalityEstimator.from_database(
+                        self.arena, self.documents
+                    )
+                    self._estimator = estimator
+        return estimator
 
     def compile_cached(
         self,
@@ -231,19 +327,38 @@ class Database:
         """Compile ``query`` through the plan cache.
 
         Returns ``(entry, hit)`` where ``hit`` says whether the plan came
-        from the cache.  Compilation errors are not cached.
+        from the cache — or from a concurrent compilation of the same
+        key: on a miss the compilation is *single-flight*, so N racing
+        sessions run the front-end once and the waiters adopt the
+        leader's entry (reported as hits; they paid no compilation).
+        Compilation errors are not cached and propagate to every waiter.
         """
-        key = self.cache_key(
-            query, use_optimizer, use_join_recognition, disabled_passes
-        )
-        entry = self.plan_cache.get(key, self.doc_epochs)
-        if entry is not None:
-            return entry, True
-        entry = self.compile_query(
-            query, use_optimizer, use_join_recognition, disabled_passes
-        )
-        self.plan_cache.put(key, entry)
-        return entry, False
+        with self._rwlock.read_locked():
+            key = self.cache_key(
+                query, use_optimizer, use_join_recognition, disabled_passes
+            )
+            entry = self.plan_cache.get(key, self.doc_epochs)
+            if entry is not None:
+                return entry, True
+
+            def _compile_and_cache() -> CachedPlan:
+                fresh = self.compile_query(
+                    query, use_optimizer, use_join_recognition, disabled_passes
+                )
+                self.plan_cache.put(key, fresh)
+                return fresh
+
+            # every flight participant holds the catalog lock shared, so
+            # no epoch can change between the leader's compile and a
+            # waiter's adoption of the entry
+            entry, leader = self._flight.do(key, _compile_and_cache)
+            return entry, not leader
+
+    @property
+    def single_flight_waits(self) -> int:
+        """How many compilations were saved by waiting on a concurrent
+        identical one (the single-flight counter, for ``/stats``)."""
+        return self._flight.waits
 
 
 def connect(
@@ -252,13 +367,15 @@ def connect(
     use_optimizer: bool = True,
     use_join_recognition: bool = True,
     disabled_passes: frozenset[str] | tuple = frozenset(),
+    backend: str = "numpy",
 ) -> "Session":
     """Open a session — the front door of the API.
 
     ``repro.connect()`` creates a private in-memory :class:`Database` and
     returns a session on it; pass an existing ``database`` to share one
     catalog and plan cache between sessions.  ``disabled_passes`` names
-    optimizer rewrite passes this session should skip.
+    optimizer rewrite passes this session should skip; ``backend`` picks
+    the evaluator ("numpy" or "sqlhost").
     """
     if database is None:
         database = Database()
@@ -267,4 +384,5 @@ def connect(
         use_optimizer=use_optimizer,
         use_join_recognition=use_join_recognition,
         disabled_passes=disabled_passes,
+        backend=backend,
     )

@@ -10,9 +10,17 @@ plan actually reads (the ``DocRoot`` leaves) together with their load
 epochs, and a lookup revalidates those epochs against the catalog.  A
 ``load_document(..., replace=True)`` or ``unload_document()`` bumps only
 the affected document's epoch, so plans over other documents stay hot.
+
+The cache is thread-safe: every operation runs under one internal mutex,
+so N sessions (or N server workers) can share it without external
+locking.  Compilation itself is *not* serialised here — the Database
+layers a :class:`~repro.api.concurrency.SingleFlight` in front of the
+cache so a miss raced by many threads compiles once.
 """
 
 from __future__ import annotations
+
+import threading
 
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -58,58 +66,68 @@ class PlanCacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
 
 class PlanCache:
-    """A bounded LRU mapping cache keys to :class:`CachedPlan` entries."""
+    """A bounded, thread-safe LRU mapping cache keys to
+    :class:`CachedPlan` entries."""
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple, doc_epochs: dict[str, int]) -> CachedPlan | None:
         """Look up a plan; a hit requires every document the plan reads to
         still be loaded at the epoch recorded when the plan was compiled."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        for uri, epoch in entry.doc_epochs.items():
-            if doc_epochs.get(uri) != epoch:
-                del self._entries[key]
-                self.stats.invalidations += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.stats.misses += 1
                 return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+            for uri, epoch in entry.doc_epochs.items():
+                if doc_epochs.get(uri) != epoch:
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                    self.stats.misses += 1
+                    return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: tuple, entry: CachedPlan) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate_document(self, uri: str) -> int:
         """Drop every entry whose plan reads ``uri``; returns the count."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if uri in entry.doc_epochs
-        ]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if uri in entry.doc_epochs
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()

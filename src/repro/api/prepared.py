@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 
 from repro.compiler.serialize import iter_result_values, serialize_result
+from repro.errors import NotSupportedError
 from repro.relational.evaluate import EvalContext, evaluate
 
 
@@ -85,14 +86,18 @@ class PreparedQuery:
 
     @property
     def query(self) -> str:
+        """The original query text this plan was compiled from."""
         return self._entry.query
 
     @property
     def plan(self):
+        """The optimized algebra plan DAG (immutable, shareable)."""
         return self._entry.plan
 
     @property
     def optimizer_stats(self):
+        """Per-pass :class:`~repro.relational.optimizer.OptimizerStats`
+        recorded when this plan was compiled."""
         return self._entry.stats
 
     @property
@@ -129,32 +134,50 @@ class PreparedQuery:
         Bindings merge, later wins: session variables, then the
         ``bindings`` dict, then keyword arguments.  Binding a name the
         query does not declare raises :class:`PathfinderError`.
+
+        The whole execution holds the Database's catalog lock shared, so
+        a concurrent hot replace waits rather than swapping a document
+        mid-query.  On a ``backend="sqlhost"`` session the plan runs on
+        SQLite when its dialect allows, falling back to the numpy
+        evaluator (and counting ``stats.sqlhost_fallbacks``) when not.
         """
         session = self.session
         database = session.database
-        self._revalidate()
-        merged = session._merged_bindings(
-            self._entry, {**(bindings or {}), **params}
-        )
-        trace_map: dict | None = {} if trace else None
-        t0 = time.perf_counter()
-        ctx = EvalContext(
-            database.arena,
-            documents=database.documents,
-            trace=trace_map,
-            use_staircase=session.use_staircase,
-            params=merged,
-        )
-        table = evaluate(self._entry.plan, ctx)
-        elapsed = time.perf_counter() - t0
-        session.stats.queries_executed += 1
-        session.stats.execute_seconds += elapsed
-        return QueryResult(
-            table=table,
-            arena=database.arena,
-            plan=self._entry.plan,
-            compile_seconds=self._entry.compile_seconds,
-            execute_seconds=elapsed,
-            from_cache=self.from_cache,
-            trace=trace_map,
-        )
+        with database.read_locked():
+            self._revalidate()
+            merged = session._merged_bindings(
+                self._entry, {**(bindings or {}), **params}
+            )
+            trace_map: dict | None = {} if trace else None
+            t0 = time.perf_counter()
+            table = None
+            # tracing is a numpy-evaluator feature: a traced execution
+            # bypasses the SQL host so the caller gets populated traces
+            # instead of a silently empty dict
+            if session.backend == "sqlhost" and not trace:
+                try:
+                    table = session._sqlhost_backend().execute(self._entry.plan)
+                    session.stats.sqlhost_queries += 1
+                except NotSupportedError:
+                    session.stats.sqlhost_fallbacks += 1
+            if table is None:
+                ctx = EvalContext(
+                    database.arena,
+                    documents=database.documents,
+                    trace=trace_map,
+                    use_staircase=session.use_staircase,
+                    params=merged,
+                )
+                table = evaluate(self._entry.plan, ctx)
+            elapsed = time.perf_counter() - t0
+            session.stats.queries_executed += 1
+            session.stats.execute_seconds += elapsed
+            return QueryResult(
+                table=table,
+                arena=database.arena,
+                plan=self._entry.plan,
+                compile_seconds=self._entry.compile_seconds,
+                execute_seconds=elapsed,
+                from_cache=self.from_cache,
+                trace=trace_map,
+            )

@@ -1,12 +1,27 @@
 """The Session layer: one client's execution context over a Database.
 
 A session carries everything that is *per client* rather than per
-database: evaluation settings (``use_staircase``, ``use_optimizer``),
-session-level external-variable bindings (defaults for prepared-query
-parameters) and execution statistics.  Several sessions can share one
-:class:`~repro.api.database.Database` — they see the same documents and
-the same plan cache, but their settings, bindings and stats are
-independent.
+database: evaluation settings (``use_staircase``, ``use_optimizer``,
+which back-end runs the plans), session-level external-variable bindings
+(defaults for prepared-query parameters) and execution statistics.
+Several sessions can share one :class:`~repro.api.database.Database` —
+they see the same documents and the same plan cache, but their settings,
+bindings and stats are independent.
+
+That independence is the concurrency contract of the serving layer:
+**sessions share nothing mutable with each other.**  Everything a
+session mutates (``variables``, ``stats``, its lazily-built SQL host
+back-end) hangs off the session itself; everything shared (catalog,
+arena, plan cache) lives in the Database behind its own locks.  One
+session per thread therefore needs no further synchronisation — this is
+how the HTTP server's worker pool uses the API.
+
+Back-ends: ``backend="numpy"`` (default) evaluates plans with the
+column-at-a-time numpy evaluator; ``backend="sqlhost"`` translates them
+to SQL and runs them on SQLite, transparently falling back to the numpy
+evaluator for plans the SQL host cannot express (node constructors,
+external variables) — the fallback is counted in
+:attr:`SessionStats.sqlhost_fallbacks`, never surfaced as an error.
 """
 
 from __future__ import annotations
@@ -15,6 +30,9 @@ from dataclasses import dataclass
 
 from repro.api.prepared import PreparedQuery
 from repro.errors import PathfinderError
+
+#: back-ends a session can evaluate plans on
+BACKENDS = ("numpy", "sqlhost")
 
 
 @dataclass
@@ -26,6 +44,11 @@ class SessionStats:
     plan_cache_misses: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
+    #: plans executed on the SQLite host back-end
+    sqlhost_queries: int = 0
+    #: sqlhost plans that fell back to the numpy evaluator
+    #: (:class:`~repro.errors.NotSupportedError` from the translator)
+    sqlhost_fallbacks: int = 0
 
 
 class Session:
@@ -39,7 +62,12 @@ class Session:
         use_optimizer: bool = True,
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] | tuple = frozenset(),
+        backend: str = "numpy",
     ):
+        if backend not in BACKENDS:
+            raise PathfinderError(
+                f"unknown backend {backend!r} (available: {', '.join(BACKENDS)})"
+            )
         self.database = database
         self.use_staircase = use_staircase
         self.use_optimizer = use_optimizer
@@ -47,8 +75,13 @@ class Session:
         #: optimizer rewrite passes this session skips (names from
         #: :data:`repro.relational.optimizer.PASS_NAMES`)
         self.disabled_passes = frozenset(disabled_passes)
+        #: which back-end executes plans ("numpy" or "sqlhost")
+        self.backend = backend
         self.variables: dict[str, object] = {}
         self.stats = SessionStats()
+        # lazily-built SQLite export + the doc epochs it snapshot
+        self._sqlhost = None
+        self._sqlhost_epochs: dict[str, int] | None = None
 
     # ------------------------------------------------------------ bindings
     def set_variable(self, name: str, value) -> None:
@@ -61,6 +94,7 @@ class Session:
         self.variables[name.lstrip("$")] = value
 
     def unset_variable(self, name: str) -> None:
+        """Drop a session-level variable binding (no-op when unbound)."""
         self.variables.pop(name.lstrip("$"), None)
 
     # ------------------------------------------------------------- queries
@@ -96,23 +130,39 @@ class Session:
         from repro.compiler.loop_lifting import Compiler
         from repro.engine import ExplainReport
 
-        entry = self.prepare(query)._entry
-        compiler = Compiler(
-            self.database.documents,
-            self.database.default_document,
-            use_join_recognition=self.use_join_recognition,
-        )
-        unoptimized = compiler.compile_module(entry.core)
-        return ExplainReport(
-            query=query,
-            module=entry.module,
-            core=entry.core,
-            plan=unoptimized,
-            optimized=entry.plan,
-            stats=entry.stats,
-        )
+        with self.database.read_locked():
+            entry = self.prepare(query)._entry
+            compiler = Compiler(
+                self.database.documents,
+                self.database.default_document,
+                use_join_recognition=self.use_join_recognition,
+            )
+            unoptimized = compiler.compile_module(entry.core)
+            return ExplainReport(
+                query=query,
+                module=entry.module,
+                core=entry.core,
+                plan=unoptimized,
+                optimized=entry.plan,
+                stats=entry.stats,
+            )
 
     # ------------------------------------------------------------ internals
+    def _sqlhost_backend(self):
+        """The session-private SQLite export, rebuilt when any document
+        epoch moved since it was taken (caller holds the catalog lock
+        shared, so the snapshot is consistent)."""
+        from repro.sqlhost.backend import SQLHostBackend
+
+        database = self.database
+        epochs = dict(database.doc_epochs)
+        if self._sqlhost is None or self._sqlhost_epochs != epochs:
+            if self._sqlhost is not None:
+                self._sqlhost.close()
+            self._sqlhost = SQLHostBackend(database.arena, database.documents)
+            self._sqlhost_epochs = epochs
+        return self._sqlhost
+
     def _merged_bindings(
         self, entry, bindings: dict | None
     ) -> dict[str, object]:

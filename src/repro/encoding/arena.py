@@ -23,6 +23,7 @@ expensive string comparisons and reduces space consumption").
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -88,7 +89,18 @@ class _Buf:
 
 
 class NodeArena:
-    """Container for every tree the engine knows (documents + fragments)."""
+    """Container for every tree the engine knows (documents + fragments).
+
+    Concurrency contract: rows are append-only and never change once
+    appended, so readers may scan without locking — a reader simply does
+    not see fragments appended after it started.  All *mutation* goes
+    through ``mutation_lock`` (a reentrant mutex): interleaved appends
+    from two threads would violate the fragment-contiguity invariant the
+    whole encoding rests on ("the global row id doubles as the pre
+    rank"), so constructors hold the lock for their entire fragment.
+    The lazy navigation indices are rebuilt under the same lock and
+    handed to readers as an immutable snapshot.
+    """
 
     def __init__(self, pool: StringPool | None = None):
         self.pool = pool if pool is not None else StringPool()
@@ -103,85 +115,108 @@ class NodeArena:
         self._attr_name = _Buf(256)
         self._attr_value = _Buf(256)
         self.frag_base: list[int] = []
+        #: serialises every arena mutation (see the class docstring);
+        #: reentrant so composite constructors can call the low-level
+        #: appenders they are built from
+        self.mutation_lock = threading.RLock()
         self._version = 0
-        self._cache_version = -1
-        self._child_order: np.ndarray | None = None
-        self._child_parents: np.ndarray | None = None
-        self._attr_order: np.ndarray | None = None
-        self._attr_owners_sorted: np.ndarray | None = None
-        self._text_rows: np.ndarray | None = None
+        #: (version, child_order, child_parents, attr_order,
+        #: attr_owners_sorted, text_rows) — replaced atomically as a unit
+        #: so concurrent readers never mix index generations
+        self._indices: tuple | None = None
         self._strvalue_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------- columns
     @property
     def kind(self) -> np.ndarray:
+        """Node kind per row (``NK_*`` constants)."""
         return self._kind.view()
 
     @property
     def size(self) -> np.ndarray:
+        """Subtree size per row (descendant count)."""
         return self._size.view()
 
     @property
     def level(self) -> np.ndarray:
+        """Depth per row (fragment root = 0)."""
         return self._level.view()
 
     @property
     def frag(self) -> np.ndarray:
+        """Fragment id per row."""
         return self._frag.view()
 
     @property
     def parent(self) -> np.ndarray:
+        """Parent row id per row (``-1`` at fragment roots)."""
         return self._parent.view()
 
     @property
     def name(self) -> np.ndarray:
+        """Tag/target name surrogate per row (``-1`` when nameless)."""
         return self._name.view()
 
     @property
     def value(self) -> np.ndarray:
+        """Text value surrogate per row (``-1`` when valueless)."""
         return self._value.view()
 
     @property
     def attr_owner(self) -> np.ndarray:
+        """Owner row id per attribute."""
         return self._attr_owner.view()
 
     @property
     def attr_name(self) -> np.ndarray:
+        """Name surrogate per attribute."""
         return self._attr_name.view()
 
     @property
     def attr_value(self) -> np.ndarray:
+        """Value surrogate per attribute."""
         return self._attr_value.view()
 
     @property
     def num_nodes(self) -> int:
+        """Total node rows across every fragment."""
         return len(self._kind)
 
     @property
     def num_attrs(self) -> int:
+        """Total attribute rows across every fragment."""
         return len(self._attr_owner)
 
     # ------------------------------------------------------------- building
     def begin_fragment(self) -> int:
         """Start a new fragment; returns its id.  The next appended node is
-        the fragment root and must carry the total subtree ``size``."""
-        self.frag_base.append(self.num_nodes)
-        self._version += 1
-        return len(self.frag_base) - 1
+        the fragment root and must carry the total subtree ``size``.
+
+        Callers appending a multi-row fragment must hold
+        ``mutation_lock`` across the whole begin/append sequence so the
+        fragment's rows stay contiguous (the composite constructors
+        below do; :func:`~repro.encoding.shred.shred_text` runs under the
+        Database's exclusive catalog lock).
+        """
+        with self.mutation_lock:
+            self.frag_base.append(self.num_nodes)
+            self._version += 1
+            return len(self.frag_base) - 1
 
     def append_node(
         self, kind: int, size: int, level: int, parent: int, name: int, value: int
     ) -> int:
         """Append one node row (pre-order position), returning its row id."""
-        self._kind.append(kind)
-        self._size.append(size)
-        self._level.append(level)
-        self._frag.append(len(self.frag_base) - 1)
-        self._parent.append(parent)
-        self._name.append(name)
-        self._value.append(value)
-        self._version += 1
-        return self.num_nodes - 1
+        with self.mutation_lock:
+            self._kind.append(kind)
+            self._size.append(size)
+            self._level.append(level)
+            self._frag.append(len(self.frag_base) - 1)
+            self._parent.append(parent)
+            self._name.append(name)
+            self._value.append(value)
+            self._version += 1
+            return self.num_nodes - 1
 
     def append_nodes(
         self,
@@ -193,37 +228,61 @@ class NodeArena:
         values: Sequence[int],
     ) -> int:
         """Bulk append; returns the row id of the first appended node."""
-        base = self.num_nodes
-        self._kind.extend(kinds)
-        self._size.extend(sizes)
-        self._level.extend(levels)
-        self._frag.extend(np.full(len(kinds), len(self.frag_base) - 1, dtype=np.int64))
-        self._parent.extend(parents)
-        self._name.extend(names)
-        self._value.extend(values)
-        self._version += 1
-        return base
+        with self.mutation_lock:
+            base = self.num_nodes
+            self._kind.extend(kinds)
+            self._size.extend(sizes)
+            self._level.extend(levels)
+            self._frag.extend(
+                np.full(len(kinds), len(self.frag_base) - 1, dtype=np.int64)
+            )
+            self._parent.extend(parents)
+            self._name.extend(names)
+            self._value.extend(values)
+            self._version += 1
+            return base
 
     def append_attr(self, owner: int, name: int, value: int) -> int:
         """Append one attribute, returning its attribute id."""
-        self._attr_owner.append(owner)
-        self._attr_name.append(name)
-        self._attr_value.append(value)
-        self._version += 1
-        return self.num_attrs - 1
+        with self.mutation_lock:
+            self._attr_owner.append(owner)
+            self._attr_name.append(name)
+            self._attr_value.append(value)
+            self._version += 1
+            return self.num_attrs - 1
 
     # -------------------------------------------------------------- indices
-    def _refresh_indices(self) -> None:
-        if self._cache_version == self._version:
-            return
-        parent = self.parent
-        self._child_order = np.argsort(parent, kind="stable")
-        self._child_parents = parent[self._child_order]
-        owner = self.attr_owner
-        self._attr_order = np.argsort(owner, kind="stable")
-        self._attr_owners_sorted = owner[self._attr_order]
-        self._text_rows = np.nonzero(self.kind == NK_TEXT)[0]
-        self._cache_version = self._version
+    def _refresh_indices(self) -> tuple:
+        """Return the navigation-index snapshot for the current version.
+
+        The snapshot tuple is built under ``mutation_lock`` and replaced
+        atomically, so a reader always works with one consistent
+        generation even while other threads construct nodes.
+        """
+        snap = self._indices
+        if snap is not None and snap[0] == self._version:
+            return snap
+        with self.mutation_lock:
+            snap = self._indices
+            if snap is not None and snap[0] == self._version:
+                return snap
+            parent = self.parent
+            child_order = np.argsort(parent, kind="stable")
+            child_parents = parent[child_order]
+            owner = self.attr_owner
+            attr_order = np.argsort(owner, kind="stable")
+            attr_owners_sorted = owner[attr_order]
+            text_rows = np.nonzero(self.kind == NK_TEXT)[0]
+            snap = (
+                self._version,
+                child_order,
+                child_parents,
+                attr_order,
+                attr_owners_sorted,
+                text_rows,
+            )
+            self._indices = snap
+            return snap
 
     def children_ranges(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """For each node: the slice of the child index holding its children.
@@ -231,22 +290,21 @@ class NodeArena:
         Returns ``(order, lo, hi)`` — children of ``nodes[i]`` are
         ``order[lo[i]:hi[i]]``, already sorted in document order.
         """
-        self._refresh_indices()
-        lo = np.searchsorted(self._child_parents, nodes, side="left")
-        hi = np.searchsorted(self._child_parents, nodes, side="right")
-        return self._child_order, lo, hi
+        _, child_order, child_parents, _, _, _ = self._refresh_indices()
+        lo = np.searchsorted(child_parents, nodes, side="left")
+        hi = np.searchsorted(child_parents, nodes, side="right")
+        return child_order, lo, hi
 
     def attr_ranges(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Like :meth:`children_ranges` but over the attribute table."""
-        self._refresh_indices()
-        lo = np.searchsorted(self._attr_owners_sorted, nodes, side="left")
-        hi = np.searchsorted(self._attr_owners_sorted, nodes, side="right")
-        return self._attr_order, lo, hi
+        _, _, _, attr_order, attr_owners_sorted, _ = self._refresh_indices()
+        lo = np.searchsorted(attr_owners_sorted, nodes, side="left")
+        hi = np.searchsorted(attr_owners_sorted, nodes, side="right")
+        return attr_order, lo, hi
 
     def text_rows(self) -> np.ndarray:
         """All text-node rows, ascending (== document order)."""
-        self._refresh_indices()
-        return self._text_rows
+        return self._refresh_indices()[5]
 
     # ------------------------------------------------------------ structure
     def frag_end(self, rows: np.ndarray) -> np.ndarray:
@@ -296,8 +354,9 @@ class NodeArena:
     # --------------------------------------------------------- construction
     def new_text_node(self, value_id: int) -> int:
         """Construct a parentless text node (``text { ... }``)."""
-        self.begin_fragment()
-        return self.append_node(NK_TEXT, 0, 0, -1, -1, value_id)
+        with self.mutation_lock:
+            self.begin_fragment()
+            return self.append_node(NK_TEXT, 0, 0, -1, -1, value_id)
 
     def new_attribute(self, name_id: int, value_id: int) -> int:
         """Construct a parentless attribute (computed attribute constructor).
@@ -319,35 +378,39 @@ class NodeArena:
         value_id)`` — a new text child, or ``('attr', attr_id)`` — an
         attribute to copy onto the new element.  Returns the new root row.
         """
-        self.begin_fragment()
-        total = 1
-        for tag, payload in content:
-            if tag == "copy":
-                total += int(self.size[payload]) + 1
-            elif tag == "text":
-                total += 1
-        root = self.append_node(NK_ELEM, total - 1, 0, -1, name_id, -1)
-        for name, value in attrs:
-            self.append_attr(root, name, value)
-        for tag, payload in content:
-            if tag == "attr":
-                self.append_attr(
-                    root, int(self.attr_name[payload]), int(self.attr_value[payload])
-                )
-            elif tag == "text":
-                self.append_node(NK_TEXT, 0, 1, root, -1, payload)
-            elif tag == "copy":
-                self._copy_subtree(payload, root)
-            else:  # pragma: no cover - compiler always passes valid tags
-                raise DynamicError(f"bad constructor content tag {tag!r}")
-        return root
+        with self.mutation_lock:
+            self.begin_fragment()
+            total = 1
+            for tag, payload in content:
+                if tag == "copy":
+                    total += int(self.size[payload]) + 1
+                elif tag == "text":
+                    total += 1
+            root = self.append_node(NK_ELEM, total - 1, 0, -1, name_id, -1)
+            for name, value in attrs:
+                self.append_attr(root, name, value)
+            for tag, payload in content:
+                if tag == "attr":
+                    self.append_attr(
+                        root,
+                        int(self.attr_name[payload]),
+                        int(self.attr_value[payload]),
+                    )
+                elif tag == "text":
+                    self.append_node(NK_TEXT, 0, 1, root, -1, payload)
+                elif tag == "copy":
+                    self._copy_subtree(payload, root)
+                else:  # pragma: no cover - compiler always passes valid tags
+                    raise DynamicError(f"bad constructor content tag {tag!r}")
+            return root
 
     def new_document_fragment(self) -> int:
         """Reserved for document-node constructors (not in the dialect)."""
         raise DynamicError("document {} constructors are not supported")
 
     def _copy_subtree(self, src: int, new_parent: int) -> int:
-        """Deep-copy rows ``src..src+size`` under ``new_parent``."""
+        """Deep-copy rows ``src..src+size`` under ``new_parent`` (caller
+        holds ``mutation_lock`` for the whole enclosing fragment)."""
         count = int(self.size[src]) + 1
         dest = self.num_nodes
         rows = slice(src, src + count)

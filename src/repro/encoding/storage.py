@@ -37,6 +37,7 @@ class StorageReport:
 
     @property
     def encoded_bytes(self) -> int:
+        """Total bytes of the encoding: node + attribute tables + pool."""
         return self.node_table_bytes + self.attr_table_bytes + self.pool_bytes
 
     @property

@@ -29,6 +29,7 @@ value comparisons and equi-joins on strings reduce to ``int64`` equality
 from __future__ import annotations
 
 import math
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -86,12 +87,19 @@ class StringPool:
     the pool.  ``doubles_for`` memoises the ``xs:untypedAtomic -> xs:double``
     cast per surrogate, which makes repeated casts of shared text content
     (very common in XMark documents) O(1) after the first occurrence.
+
+    Interning is thread-safe: concurrent queries share one pool, and a
+    check-then-append race would mint two surrogates for equal strings —
+    breaking the surrogate-equality property every string comparison
+    relies on.  The common already-interned case stays lock-free (a dict
+    read); only genuine misses take the mutex.
     """
 
     def __init__(self):
         self._strings: list[str] = []
         self._ids: dict[str, int] = {}
         self._doubles = np.empty(0, dtype=np.float64)
+        self._intern_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._strings)
@@ -99,11 +107,16 @@ class StringPool:
     def intern(self, s: str) -> int:
         """Return the surrogate for ``s``, creating one if necessary."""
         sid = self._ids.get(s)
-        if sid is None:
-            sid = len(self._strings)
-            self._ids[s] = sid
-            self._strings.append(s)
-        return sid
+        if sid is not None:
+            return sid
+        with self._intern_lock:
+            sid = self._ids.get(s)
+            if sid is None:
+                sid = len(self._strings)
+                # append before publishing so value(sid) can never miss
+                self._strings.append(s)
+                self._ids[s] = sid
+            return sid
 
     def lookup(self, s: str) -> int:
         """Return the surrogate for ``s`` or ``-1`` if it was never interned.
@@ -135,17 +148,23 @@ class StringPool:
 
         The cast is memoised per surrogate: thanks to surrogate sharing a
         column with many duplicate strings is parsed once per distinct
-        value, not once per row.
+        value, not once per row.  The memo array grows under the intern
+        lock and is indexed through a local snapshot, so a concurrent
+        grow can never shrink it out from under this thread's read.
         """
-        n = len(self._strings)
-        cached = len(self._doubles)
-        if cached < n:
-            grown = np.empty(n, dtype=np.float64)
-            grown[:cached] = self._doubles
-            for i in range(cached, n):
-                grown[i] = _parse_double(self._strings[i])
-            self._doubles = grown
-        return self._doubles[sids]
+        doubles = self._doubles
+        if len(doubles) < len(self._strings):
+            with self._intern_lock:
+                doubles = self._doubles
+                cached = len(doubles)
+                n = len(self._strings)
+                if cached < n:
+                    grown = np.empty(n, dtype=np.float64)
+                    grown[:cached] = doubles
+                    for i in range(cached, n):
+                        grown[i] = _parse_double(self._strings[i])
+                    self._doubles = doubles = grown
+        return doubles[sids]
 
     def sort_ranks(self, sids: np.ndarray) -> np.ndarray:
         """Return ranks such that rank order == lexicographic string order.

@@ -1,0 +1,29 @@
+"""The serving subsystem: an HTTP query service over the layered API.
+
+MonetDB/XQuery is a *database system*, not a one-shot compiler — this
+package is the reproduction's operational surface.  It stacks:
+
+* :class:`~repro.server.service.QueryService` — a worker pool of
+  per-thread :class:`~repro.api.Session` objects over one shared,
+  thread-safe :class:`~repro.api.Database`, with wall-clock deadlines
+  (the baseline interpreter's budget idea applied to serving) and
+  operational counters;
+* :mod:`repro.server.http` — a dependency-free ``http.server`` front
+  end exposing ``POST /query``, ``GET /explain``, ``GET /stats`` and
+  hot document management under ``/documents``, with graceful
+  shutdown.
+
+Start it from the shell (``python -m repro serve --xmark 0.002``) or in
+process::
+
+    from repro.server import QueryService, serve
+    service = QueryService(database, workers=4)
+    serve(service, port=8080)
+
+The operations guide lives in ``docs/serving.md``.
+"""
+
+from repro.server.http import make_server, serve
+from repro.server.service import DeadlineExceeded, QueryService
+
+__all__ = ["QueryService", "DeadlineExceeded", "make_server", "serve"]

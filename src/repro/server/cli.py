@@ -1,0 +1,114 @@
+"""``python -m repro serve`` — the serving subcommand.
+
+Loads documents (files and/or a generated XMark instance) into one
+shared Database, builds a :class:`~repro.server.service.QueryService`
+and blocks in :func:`repro.server.http.serve` until SIGINT/SIGTERM::
+
+    python -m repro serve --xmark 0.002 --port 8080 --workers 4
+    python -m repro serve --doc catalog.xml=path/to.xml --deadline 5
+
+Tuning knobs (see docs/serving.md): ``--workers`` bounds concurrent
+query execution, ``--deadline`` is the default per-request wall-clock
+budget, ``--plan-cache`` sizes the shared compile-once LRU, and
+``--backend sqlhost`` runs worker sessions on the SQLite host (with
+automatic numpy fallback).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api.database import Database
+from repro.api.session import BACKENDS
+from repro.errors import PathfinderError
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve XQuery over HTTP (see docs/serving.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8080, help="bind port")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="query worker threads"
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request wall-clock budget",
+    )
+    parser.add_argument(
+        "--plan-cache",
+        type=int,
+        default=128,
+        metavar="N",
+        help="capacity of the shared compile-once plan cache",
+    )
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="URI=PATH",
+        help="load an XML document (repeatable; first one is the default)",
+    )
+    parser.add_argument(
+        "--xmark",
+        type=float,
+        metavar="SCALE",
+        help="load a generated XMark instance as 'auction.xml'",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="numpy",
+        help="evaluator for worker sessions (sqlhost falls back to numpy)",
+    )
+    parser.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="serve unoptimized plans (debugging aid)",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point for ``python -m repro serve``."""
+    from repro.server.http import serve
+    from repro.server.service import QueryService
+
+    out = out or sys.stdout
+    args = build_serve_parser().parse_args(argv)
+    database = Database(plan_cache_size=args.plan_cache)
+    try:
+        if args.xmark is not None:
+            from repro.xmark import generate_document
+
+            database.load_document("auction.xml", generate_document(args.xmark))
+            print(f"loaded auction.xml (XMark scale {args.xmark})", file=out)
+        for spec in args.doc:
+            uri, _, path = spec.partition("=")
+            if not path:
+                print(f"bad --doc {spec!r}, expected URI=PATH", file=sys.stderr)
+                return 2
+            with open(path, "r", encoding="utf-8") as handle:
+                nodes = database.load_document(uri, handle.read())
+            print(f"loaded {uri} ({nodes} nodes)", file=out)
+        service = QueryService(
+            database,
+            workers=args.workers,
+            deadline_seconds=args.deadline,
+            session_options={
+                "backend": args.backend,
+                "use_optimizer": not args.no_optimizer,
+            },
+        )
+    except PathfinderError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    serve(service, host=args.host, port=args.port, out=out)
+    return 0

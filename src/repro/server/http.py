@@ -1,0 +1,272 @@
+"""The HTTP front end: stdlib ``ThreadingHTTPServer`` over a QueryService.
+
+No third-party dependencies — connection handling is stdlib
+``http.server`` (one thread per connection), while query execution is
+bounded by the :class:`~repro.server.service.QueryService` worker pool,
+so slow clients cost a cheap blocked connection thread, never a query
+worker.
+
+Endpoints (all JSON unless noted):
+
+=======  =====================  ===========================================
+method   path                   behaviour
+=======  =====================  ===========================================
+POST     ``/query``             ``{"query": ..., "bindings": {...},
+                                "deadline": secs}`` → serialized result
+GET      ``/explain``           ``?q=<query>`` → plan stages + pass stats
+GET      ``/documents``         catalog listing (uri, nodes, epoch, default)
+PUT      ``/documents/<uri>``   body = XML; load or hot-replace
+DELETE   ``/documents/<uri>``   unload
+GET      ``/stats``             operational counters (see QueryService)
+GET      ``/healthz``           liveness probe (also plain ``/``)
+=======  =====================  ===========================================
+
+Errors map onto status codes: compile/static errors and malformed
+requests are 400, unknown documents 404, deadline expiry 504 (with the
+budget in the body), anything unexpected 500.  Every error body is
+``{"error": message, "kind": exception class}``.
+
+``serve()`` is the blocking entry point used by ``python -m repro
+serve``; it installs SIGINT/SIGTERM handlers for a graceful shutdown —
+stop accepting connections, drain the worker pool, then return.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.errors import PathfinderError
+from repro.server.service import DeadlineExceeded, QueryService
+
+#: request bodies above this size are rejected (64 MiB — a scale-0.1
+#: XMark document is ~11 MiB, so hot reloads fit with headroom)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class QueryServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the server's :class:`QueryService`."""
+
+    protocol_version = "HTTP/1.1"
+    #: socket timeout: an idle keep-alive connection is closed after this
+    #: many seconds, which bounds how long graceful shutdown can block on
+    #: connection threads
+    timeout = 10
+    #: set by :func:`make_server` on the handler subclass
+    service: QueryService = None
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the default is noisy)."""
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._response_started = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: BaseException) -> None:
+        self._send_json(
+            status, {"error": str(exc), "kind": type(exc).__name__}
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # the unread body would desync the keep-alive stream
+            self.close_connection = True
+            raise PathfinderError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _discard_body(self) -> None:
+        """Drain an unused request body so the next request on this
+        keep-alive connection starts at a request line, not body bytes."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if 0 < length <= MAX_BODY_BYTES:
+            self.rfile.read(length)
+        elif length > MAX_BODY_BYTES:
+            self.close_connection = True
+
+    def _dispatch(self, fn) -> None:
+        """Run one route handler, mapping exceptions to status codes.
+
+        Once a response has started, a failure can only be a broken
+        stream — the connection is closed rather than desynced by a
+        second response written into the middle of the first.
+        """
+        self._response_started = False
+        try:
+            fn()
+        except DeadlineExceeded as exc:
+            self._fail(504, exc)
+        except PathfinderError as exc:
+            self._fail(404 if "is not loaded" in str(exc) else 400, exc)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._fail(400, exc)
+        except OSError:  # pragma: no cover - client/socket went away
+            self.close_connection = True
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._fail(500, exc)
+
+    def _fail(self, status: int, exc: BaseException) -> None:
+        if self._response_started:  # pragma: no cover - mid-write failure
+            self.close_connection = True
+            return
+        self._send_error_json(status, exc)
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self):  # noqa: D102 - routed below
+        """Route GET requests (explain / documents / stats / healthz)."""
+        self._discard_body()  # a GET body is never used; keep the stream sane
+        url = urlparse(self.path)
+        if url.path in ("/", "/healthz"):
+            self._dispatch(lambda: self._send_json(200, {"ok": True}))
+        elif url.path == "/stats":
+            self._dispatch(
+                lambda: self._send_json(200, self.service.stats())
+            )
+        elif url.path == "/documents":
+            self._dispatch(
+                lambda: self._send_json(
+                    200, {"documents": self.service.list_documents()}
+                )
+            )
+        elif url.path == "/explain":
+            self._dispatch(lambda: self._explain(url))
+        else:
+            self._send_json(404, {"error": f"no route {url.path}"})
+
+    def do_POST(self):
+        """Route POST requests (``/query``)."""
+        url = urlparse(self.path)
+        if url.path == "/query":
+            self._dispatch(self._query)
+        else:
+            self._discard_body()
+            self._send_json(404, {"error": f"no route {url.path}"})
+
+    def do_PUT(self):
+        """Route PUT requests (``/documents/<uri>``)."""
+        uri = self._document_uri()
+        if uri is None:
+            return
+        self._dispatch(lambda: self._put_document(uri))
+
+    def do_DELETE(self):
+        """Route DELETE requests (``/documents/<uri>``)."""
+        self._discard_body()  # DELETE bodies are never used
+        uri = self._document_uri()
+        if uri is None:
+            return
+        self._dispatch(
+            lambda: self._send_json(200, self.service.delete_document(uri))
+        )
+
+    # ------------------------------------------------------------- handlers
+    def _document_uri(self) -> str | None:
+        path = urlparse(self.path).path
+        prefix = "/documents/"
+        if not path.startswith(prefix) or len(path) == len(prefix):
+            self._discard_body()
+            self._send_json(
+                404, {"error": "expected /documents/<name>"}
+            )
+            return None
+        return unquote(path[len(prefix):])
+
+    def _query(self) -> None:
+        body = json.loads(self._read_body() or b"{}")
+        query = body.get("query") if isinstance(body, dict) else None
+        if not isinstance(query, str) or not query.strip():
+            raise PathfinderError(
+                'the request body needs a non-empty "query" string field'
+            )
+        bindings = body.get("bindings") or {}
+        if not isinstance(bindings, dict):
+            raise PathfinderError('"bindings" must be a JSON object')
+        payload = self.service.execute(
+            body["query"], bindings, deadline=body.get("deadline")
+        )
+        self._send_json(200, payload)
+
+    def _explain(self, url) -> None:
+        params = parse_qs(url.query)
+        query = (params.get("q") or params.get("query") or [""])[0]
+        if not query:
+            raise PathfinderError("pass the query as ?q=<xquery>")
+        self._send_json(200, self.service.explain(query))
+
+    def _put_document(self, uri: str) -> None:
+        xml_text = self._read_body().decode("utf-8")
+        if not xml_text.strip():
+            raise PathfinderError("the request body must be the XML document")
+        self._send_json(200, self.service.put_document(uri, xml_text))
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Build (and bind, but not start) the HTTP server for a service.
+
+    The handler class is subclassed per server so concurrent servers in
+    one process (tests, benchmarks) never share a ``service``.
+    """
+    handler = type(
+        "BoundQueryServiceHandler", (QueryServiceHandler,), {"service": service}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    # non-daemon connection threads: server_close() joins them, so a
+    # graceful shutdown really does finish in-flight responses.  The
+    # handler's socket timeout bounds the join — an idle keep-alive
+    # connection closes within `QueryServiceHandler.timeout` seconds.
+    server.daemon_threads = False
+    return server
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    install_signal_handlers: bool = True,
+    ready: threading.Event | None = None,
+    out=None,
+) -> None:
+    """Serve until SIGINT/SIGTERM, then shut down gracefully.
+
+    Graceful means: the accept loop stops, connection threads finish
+    their current responses, the worker pool drains, and only then does
+    this function return.  ``ready`` (if given) is set once the socket
+    is listening — tests and the benchmark use it to avoid races.
+    """
+    server = make_server(service, host, port)
+
+    def request_shutdown(signum, frame):  # pragma: no cover - signal path
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signal_handlers:  # pragma: no cover - exercised via CLI
+        signal.signal(signal.SIGINT, request_shutdown)
+        signal.signal(signal.SIGTERM, request_shutdown)
+    if out is not None:
+        print(
+            f"serving on http://{host}:{server.server_address[1]} "
+            f"({service.workers} workers, "
+            f"{service.deadline_seconds:g}s deadline)",
+            file=out,
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        service.shutdown(wait=True)

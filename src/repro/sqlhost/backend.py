@@ -40,9 +40,14 @@ class SQLHostBackend:
     def __init__(self, arena: NodeArena, documents: dict[str, int]):
         self.arena = arena
         self.documents = dict(documents)
-        self.connection: sqlite3.Connection = export_arena(arena)
+        # export only the live document subtrees: superseded versions in
+        # the append-only arena never participate in SQL evaluation
+        self.connection: sqlite3.Connection = export_arena(
+            arena, roots=self.documents.values()
+        )
 
     def close(self) -> None:
+        """Close the SQLite connection holding the exported arena."""
         self.connection.close()
 
     # ------------------------------------------------------------------ API

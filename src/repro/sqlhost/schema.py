@@ -135,18 +135,36 @@ def _register_functions(con: sqlite3.Connection) -> None:
     )
 
 
-def export_arena(arena: NodeArena) -> sqlite3.Connection:
-    """Create an in-memory SQLite database holding the whole arena."""
+def export_arena(arena: NodeArena, roots=None) -> sqlite3.Connection:
+    """Create an in-memory SQLite database holding the arena.
+
+    ``roots`` (an iterable of fragment-root row ids, e.g. the document
+    catalog's values) restricts the export to those subtrees.  Row ids
+    are stored explicitly, so region predicates over the exported subset
+    behave exactly as over a full export — but superseded document
+    versions, which the append-only arena never reclaims, stop being
+    copied into every new SQL host.  ``roots=None`` exports everything.
+    """
     con = sqlite3.connect(":memory:")
     con.executescript(DDL)
     _register_functions(con)
     pool = arena.pool
-    n = arena.num_nodes
-    if n:
-        strvals = arena.string_value_ids(np.arange(n, dtype=np.int64))
-        fragends = arena.frag_end(np.arange(n, dtype=np.int64))
+    if roots is None:
+        node_ids = np.arange(arena.num_nodes, dtype=np.int64)
+    else:
+        spans = [
+            np.arange(root, root + int(arena.size[root]) + 1, dtype=np.int64)
+            for root in sorted(roots)
+        ]
+        node_ids = (
+            np.concatenate(spans) if spans else np.empty(0, dtype=np.int64)
+        )
+    if len(node_ids):
+        strvals = arena.string_value_ids(node_ids)
+        fragends = arena.frag_end(node_ids)
         rows = []
-        for i in range(n):
+        for pos, i in enumerate(node_ids):
+            i = int(i)
             name_id = int(arena.name[i])
             value_id = int(arena.value[i])
             rows.append(
@@ -159,12 +177,21 @@ def export_arena(arena: NodeArena) -> sqlite3.Connection:
                     int(arena.parent[i]),
                     pool.value(name_id) if name_id >= 0 else None,
                     pool.value(value_id) if value_id >= 0 else None,
-                    pool.value(int(strvals[i])),
-                    int(fragends[i]),
+                    pool.value(int(strvals[pos])),
+                    int(fragends[pos]),
                 )
             )
         con.executemany("INSERT INTO nodes VALUES (?,?,?,?,?,?,?,?,?,?)", rows)
     if arena.num_attrs:
+        if roots is None:
+            attr_ids = range(arena.num_attrs)
+        else:
+            live = set(node_ids.tolist())
+            attr_ids = [
+                j
+                for j in range(arena.num_attrs)
+                if int(arena.attr_owner[j]) in live
+            ]
         arows = [
             (
                 j,
@@ -172,7 +199,7 @@ def export_arena(arena: NodeArena) -> sqlite3.Connection:
                 pool.value(int(arena.attr_name[j])),
                 pool.value(int(arena.attr_value[j])),
             )
-            for j in range(arena.num_attrs)
+            for j in attr_ids
         ]
         con.executemany("INSERT INTO attrs VALUES (?,?,?,?)", arows)
     con.commit()

@@ -69,6 +69,7 @@ class ItemRef:
         self.s = f"{p}{q(col + '_s')}"
 
     def quad(self) -> tuple[str, str, str, str]:
+        """The four physical expressions as one (k, i, d, s) tuple."""
         return (self.k, self.i, self.d, self.s)
 
 
@@ -96,6 +97,7 @@ class ConstItem:
             raise NotSupportedError(f"cannot embed {type(value).__name__} in SQL")
 
     def quad(self):
+        """The four physical expressions as one (k, i, d, s) tuple."""
         return (self.k, self.i, self.d, self.s)
 
 
@@ -134,6 +136,7 @@ def compare(op: str, a, b) -> str:
 
 
 def ebv(x) -> str:
+    """SQL for the effective boolean value of one item quad."""
     return (
         f"(CASE WHEN {x.k} IN ({K_NODE}, {K_ATTR}) THEN 1 "
         f"WHEN {x.k} = {K_DBL} THEN COALESCE({x.d} <> 0.0, 0) "
@@ -195,9 +198,11 @@ class SQLGenerator:
 
     # ------------------------------------------------------------- helpers
     def schema(self, op: alg.Op) -> tuple[str, ...]:
+        """Logical column names of an op's output (memoised)."""
         return schema_of(op, self.schema_memo)
 
     def item_cols(self, op: alg.Op) -> frozenset:
+        """The subset of an op's columns that are polymorphic items."""
         return _item_cols_of(op, self.items_memo)
 
     def phys_cols(self, op: alg.Op) -> list[str]:
@@ -212,6 +217,7 @@ class SQLGenerator:
         return out
 
     def select_all(self, op: alg.Op, alias: str) -> str:
+        """A SELECT list forwarding every physical column of ``op``."""
         return ", ".join(f"{alias}.{q(c)} AS {q(c)}" for c in self.phys_cols(op))
 
     def _emit(self, node: alg.Op, body: str) -> str:
@@ -241,6 +247,7 @@ class SQLGenerator:
 
     # ---------------------------------------------------------------- main
     def generate(self, plan: alg.Op) -> str:
+        """Translate a whole plan DAG into one WITH-chained SQL query."""
         for node in alg.walk(plan):
             if id(node) in self.names:
                 continue

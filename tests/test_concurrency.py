@@ -1,0 +1,322 @@
+"""Concurrency stress tests for the thread-safe Database layer.
+
+The serving contract under test: many sessions on many threads share one
+Database while documents are hot-replaced — queries must never see a
+torn catalog (a result must always correspond to *some* complete
+document version), epoch bumps must invalidate exactly the affected
+plans, and racing compilations of one query text must collapse into a
+single front-end run (single-flight).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database, connect
+from repro.api.concurrency import RWLock, SingleFlight
+
+#: the document versions the replacer thread alternates between —
+#: count(/r/v) must always be one of these, never anything in between
+DOC_VERSIONS = {
+    3: "<r><v>1</v><v>2</v><v>3</v></r>",
+    5: "<r><v>1</v><v>2</v><v>3</v><v>4</v><v>5</v></r>",
+}
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        entered = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # both readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        in_write = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                in_write.set()
+                order.append("write")
+
+        lock.acquire_read()
+        t = threading.Thread(target=writer)
+        t.start()
+        assert not in_write.wait(timeout=0.2)  # blocked behind the reader
+        order.append("read-release")
+        lock.release_read()
+        t.join(timeout=5)
+        assert order == ["read-release", "write"]
+
+    def test_read_reentrant_while_writer_waits(self):
+        """A reader may re-acquire even with a writer queued (this is what
+        makes execute -> revalidate -> prepare safe)."""
+        lock = RWLock()
+        lock.acquire_read()
+        t = threading.Thread(target=lock.acquire_write)
+        t.start()
+        # wait until the writer is registered as waiting
+        for _ in range(100):
+            if lock._writers_waiting:
+                break
+            threading.Event().wait(0.01)
+        lock.acquire_read()  # must not deadlock
+        lock.release_read()
+        lock.release_read()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        lock.release_write()
+
+    def test_write_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer = threading.Thread(target=lock.acquire_write)
+        writer.start()
+        for _ in range(100):
+            if lock._writers_waiting:
+                break
+            threading.Event().wait(0.01)
+        got_read = threading.Event()
+
+        def late_reader():
+            lock.acquire_read()
+            got_read.set()
+            lock.release_read()
+
+        reader = threading.Thread(target=late_reader)
+        reader.start()
+        assert not got_read.wait(timeout=0.2)  # queued behind the writer
+        lock.release_read()
+        writer.join(timeout=5)
+        lock.release_write()
+        reader.join(timeout=5)
+        assert got_read.is_set()
+
+
+class TestSingleFlight:
+    def test_waiters_adopt_leader_result(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(8, timeout=5)
+        calls = []
+        results = []
+
+        def compute():
+            calls.append(1)
+            threading.Event().wait(0.05)  # hold the flight open
+            return "plan"
+
+        def racer():
+            barrier.wait()
+            value, leader = flight.do("key", compute)
+            results.append((value, leader))
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(calls) == 1
+        assert all(value == "plan" for value, _ in results)
+        assert sum(leader for _, leader in results) == 1
+        assert flight.waits == 7
+
+    def test_errors_propagate_to_waiters(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(4, timeout=5)
+        failures = []
+
+        def compute():
+            threading.Event().wait(0.05)
+            raise ValueError("boom")
+
+        def racer():
+            barrier.wait()
+            try:
+                flight.do("key", compute)
+            except ValueError as exc:
+                failures.append(str(exc))
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert failures == ["boom"] * 4
+
+    def test_next_call_after_landing_recomputes(self):
+        flight = SingleFlight()
+        assert flight.do("k", lambda: 1) == (1, True)
+        assert flight.do("k", lambda: 2) == (2, True)
+
+
+class TestConcurrentDatabase:
+    def test_hot_replace_never_tears_reads(self):
+        """Readers hammering count(/r/v) while a writer alternates the
+        document must only ever see complete versions."""
+        db = Database()
+        db.load_document("r.xml", DOC_VERSIONS[3])
+        bad = []
+        stop = threading.Event()
+
+        def reader():
+            session = db.connect()
+            while not stop.is_set():
+                got = int(session.execute("count(/r/v)").serialize())
+                if got not in DOC_VERSIONS:
+                    bad.append(got)
+                    return
+
+        def replacer():
+            for i in range(25):
+                xml = DOC_VERSIONS[3 if i % 2 else 5]
+                db.load_document("r.xml", xml, replace=True)
+
+        readers = [threading.Thread(target=reader) for _ in range(6)]
+        for t in readers:
+            t.start()
+        writer = threading.Thread(target=replacer)
+        writer.start()
+        writer.join(timeout=60)
+        stop.set()
+        for t in readers:
+            t.join(timeout=60)
+        assert not writer.is_alive() and not any(t.is_alive() for t in readers)
+        assert bad == []
+
+    def test_epoch_invalidation_after_replace(self):
+        """The first execution after a replace must see the new tree, via
+        a recompile (epoch mismatch), not a stale cached plan."""
+        db = Database()
+        db.load_document("r.xml", DOC_VERSIONS[3])
+        session = db.connect()
+        assert session.execute("count(/r/v)").serialize() == "3"
+        db.load_document("r.xml", DOC_VERSIONS[5], replace=True)
+        assert session.execute("count(/r/v)").serialize() == "5"
+        assert db.plan_cache.stats.invalidations >= 1
+
+    def test_single_flight_compilation(self, monkeypatch):
+        """N sessions racing on one cold query text compile it once."""
+        db = Database()
+        db.load_document("r.xml", DOC_VERSIONS[3])
+        compiles = []
+        original = Database.compile_query
+
+        def counting(self, *args, **kwargs):
+            compiles.append(threading.get_ident())
+            threading.Event().wait(0.05)  # widen the race window
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Database, "compile_query", counting)
+        barrier = threading.Barrier(8, timeout=5)
+        results = []
+
+        def racer():
+            session = db.connect()
+            barrier.wait()
+            results.append(session.execute("count(/r/v)").serialize())
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert results == ["3"] * 8
+        assert len(compiles) == 1
+
+    def test_concurrent_construction_keeps_fragments_intact(self):
+        """Element constructors from many threads interleave safely: the
+        arena mutation lock keeps each constructed fragment contiguous."""
+        session0 = connect()
+        db = session0.database
+        db.load_document("r.xml", DOC_VERSIONS[3])
+        query = "<wrap>{ for $v in /r/v return <item>{ $v/text() }</item> }</wrap>"
+        expected = session0.execute(query).serialize()
+        failures = []
+        barrier = threading.Barrier(6, timeout=5)
+
+        def constructor():
+            session = db.connect()
+            barrier.wait()
+            for _ in range(10):
+                got = session.execute(query).serialize()
+                if got != expected:
+                    failures.append(got)
+                    return
+
+        threads = [threading.Thread(target=constructor) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads)
+        assert failures == []
+
+    def test_sessions_share_no_mutable_state(self):
+        """The isolation audit in miniature: bindings and stats on one
+        session are invisible to another."""
+        db = Database()
+        db.load_document("r.xml", DOC_VERSIONS[3])
+        s1, s2 = db.connect(), db.connect()
+        s1.set_variable("n", 2)
+        assert s2.variables == {}
+        s1.execute("count(/r/v)")
+        assert s2.stats.queries_executed == 0
+        assert s1.stats.queries_executed == 1
+
+
+@pytest.mark.parametrize("threads", [2, 8])
+def test_stress_mixed_workload(threads):
+    """Readers, a constructor and a hot-replacer all at once; every
+    thread must finish and every observation must be a valid snapshot."""
+    db = Database()
+    db.load_document("r.xml", DOC_VERSIONS[3])
+    db.load_document("s.xml", "<s><w>9</w></s>")
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        session = db.connect()
+        try:
+            while not stop.is_set():
+                got = int(session.execute("count(/r/v)").serialize())
+                if got not in DOC_VERSIONS:
+                    errors.append(f"torn read: {got}")
+                    return
+                # s.xml is never replaced: its plans must stay valid
+                if session.execute('count(doc("s.xml")/s/w)').serialize() != "1":
+                    errors.append("unrelated document disturbed")
+                    return
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(repr(exc))
+
+    def replacer():
+        try:
+            for i in range(10):
+                db.load_document(
+                    "r.xml", DOC_VERSIONS[3 if i % 2 else 5], replace=True
+                )
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(repr(exc))
+
+    workers = [threading.Thread(target=reader) for _ in range(threads)]
+    workers.append(threading.Thread(target=replacer))
+    for t in workers:
+        t.start()
+    workers[-1].join(timeout=120)
+    stop.set()
+    for t in workers:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in workers)
+    assert errors == []

@@ -1,6 +1,7 @@
 """The docs job's checks, enforced by tier-1 too: markdown links in
-README/docs must resolve and the relational layer must be fully
-docstringed (mirrors the CI ruff pydocstyle job)."""
+README/docs must resolve and the relational, api, encoding, sqlhost and
+server layers must be fully docstringed (mirrors the CI ruff pydocstyle
+job over the same directories)."""
 
 import sys
 from pathlib import Path
@@ -14,5 +15,5 @@ def test_markdown_links_resolve():
     assert check_links() == []
 
 
-def test_relational_layer_docstrings_complete():
+def test_documented_layers_docstrings_complete():
     assert check_docstrings() == []

@@ -76,6 +76,20 @@ class TestReports:
         rows = run_prepared_bench(scale=0.0005, reps=2, queries=("Q1",))
         assert rows[0]["cold_seconds"] > rows[0]["prepared_seconds"]
 
+    def test_serve_bench_rows(self):
+        """The serving sweep runs end to end over a real socket and
+        reports throughput and latency percentiles per worker count."""
+        from benchmarks.bench_serve import run_serve_bench
+
+        rows = run_serve_bench(
+            scale=0.0005, seconds=0.4, worker_counts=(1, 2), queries=("Q1",)
+        )
+        assert [r["workers"] for r in rows] == [1, 2]
+        for row in rows:
+            assert row["requests"] > 0
+            assert row["throughput_rps"] > 0
+            assert row["p50_ms"] <= row["p99_ms"]
+
     def test_main_dispatch_unknown(self):
         assert report.main(["report.py", "nonsense"]) == 1
 

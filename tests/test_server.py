@@ -1,0 +1,328 @@
+"""End-to-end tests of the HTTP serving subsystem over a real socket.
+
+A ``ThreadingHTTPServer`` is bound to an ephemeral port per test class;
+requests go through ``urllib`` like any external client's would, so the
+whole stack — routing, JSON codec, worker pool, deadlines, catalog
+endpoints, stats — is exercised exactly as deployed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Database
+from repro.server import QueryService, make_server
+from repro.server.service import DeadlineExceeded
+
+DOC = "<r><v>1</v><v>2</v><v>3</v></r>"
+PARAM_QUERY = (
+    "declare variable $n as xs:integer external; /r/v[position() <= $n]/text()"
+)
+#: a cross-product heavy enough to overrun a millisecond-scale deadline
+SLOW_QUERY = (
+    "count(for $a in /r/v, $b in /r/v, $c in /r/v, $d in /r/v, "
+    "$e in /r/v, $f in /r/v, $g in /r/v, $h in /r/v return 1)"
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One live server for the whole module: (base_url, service)."""
+    database = Database()
+    database.load_document("r.xml", DOC)
+    service = QueryService(database, workers=2, deadline_seconds=10.0)
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield base, service
+    httpd.shutdown()
+    httpd.server_close()
+    service.shutdown()
+    thread.join(timeout=10)
+
+
+def request(base: str, path: str, method: str = "GET", body: bytes | None = None):
+    """One HTTP round trip; returns (status, decoded JSON)."""
+    req = urllib.request.Request(base + path, data=body, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as err:
+        return err.code, json.load(err)
+
+
+def post_query(base: str, payload: dict):
+    return request(
+        base, "/query", "POST", json.dumps(payload).encode("utf-8")
+    )
+
+
+class TestQueryEndpoint:
+    def test_one_shot(self, server):
+        base, _ = server
+        status, body = post_query(base, {"query": "count(/r/v)"})
+        assert status == 200
+        assert body["result"] == "3"
+        assert body["items"] == 1
+
+    def test_prepared_with_bindings(self, server):
+        base, _ = server
+        status, body = post_query(
+            base, {"query": PARAM_QUERY, "bindings": {"n": 2}}
+        )
+        assert status == 200
+        assert body["result"] == "12"
+        assert body["parameters"] == ["n"]
+
+    def test_plan_cache_hit_on_repeat(self, server):
+        base, _ = server
+        post_query(base, {"query": "count(//v)"})
+        status, body = post_query(base, {"query": "count(//v)"})
+        assert status == 200
+        assert body["from_cache"] is True
+
+    def test_syntax_error_is_400(self, server):
+        base, _ = server
+        status, body = post_query(base, {"query": "for $x in"})
+        assert status == 400
+        assert body["kind"] == "XQuerySyntaxError"
+
+    def test_missing_query_field_is_400(self, server):
+        base, _ = server
+        status, body = post_query(base, {"bindings": {"n": 1}})
+        assert status == 400
+        assert "query" in body["error"]
+
+    def test_undeclared_binding_is_400(self, server):
+        base, _ = server
+        status, body = post_query(
+            base, {"query": "count(/r/v)", "bindings": {"nope": 1}}
+        )
+        assert status == 400
+        assert "external variable" in body["error"]
+
+    def test_deadline_expiry_is_504(self, server):
+        base, _ = server
+        status, body = post_query(
+            base, {"query": SLOW_QUERY, "deadline": 0.001}
+        )
+        assert status == 504
+        assert body["kind"] == "DeadlineExceeded"
+
+
+class TestDocumentEndpoints:
+    def test_listing(self, server):
+        base, _ = server
+        status, body = request(base, "/documents")
+        assert status == 200
+        uris = [d["uri"] for d in body["documents"]]
+        assert "r.xml" in uris
+
+    def test_hot_replace_and_epoch(self, server):
+        base, _ = server
+        status, put1 = request(
+            base, "/documents/hot.xml", "PUT", b"<h><x/></h>"
+        )
+        assert status == 200 and put1["replaced"] is False
+        status, q1 = post_query(base, {"query": 'count(doc("hot.xml")//x)'})
+        assert q1["result"] == "1"
+        status, put2 = request(
+            base, "/documents/hot.xml", "PUT", b"<h><x/><x/></h>"
+        )
+        assert status == 200 and put2["replaced"] is True
+        assert put2["epoch"] > put1["epoch"]
+        status, q2 = post_query(base, {"query": 'count(doc("hot.xml")//x)'})
+        assert q2["result"] == "2"
+
+    def test_delete_then_404(self, server):
+        base, _ = server
+        request(base, "/documents/gone.xml", "PUT", b"<g/>")
+        status, body = request(base, "/documents/gone.xml", "DELETE")
+        assert status == 200 and body["unloaded"] is True
+        status, body = request(base, "/documents/gone.xml", "DELETE")
+        assert status == 404
+
+    def test_empty_body_is_400(self, server):
+        base, _ = server
+        status, body = request(base, "/documents/empty.xml", "PUT", b"")
+        assert status == 400
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, server):
+        base, _ = server
+        assert request(base, "/healthz") == (200, {"ok": True})
+
+    def test_explain(self, server):
+        base, _ = server
+        status, body = request(base, "/explain?q=count(/r/v)")
+        assert status == 200
+        assert body["ops_after"] <= body["ops_before"]
+        assert {p["name"] for p in body["passes"]} >= {"cse", "prune"}
+
+    def test_explain_without_query_is_400(self, server):
+        base, _ = server
+        status, _ = request(base, "/explain")
+        assert status == 400
+
+    def test_stats_surface(self, server):
+        base, _ = server
+        post_query(base, {"query": "count(/r/v)"})
+        status, body = request(base, "/stats")
+        assert status == 200
+        assert body["requests_total"] >= 1
+        assert body["queries_executed"] >= 1
+        assert body["in_flight"] == 0
+        assert 0.0 <= body["plan_cache"]["hit_rate"] <= 1.0
+        assert "cse" in body["optimizer_pass_totals"]
+
+    def test_unknown_route_is_404(self, server):
+        base, _ = server
+        status, _ = request(base, "/nope")
+        assert status == 404
+
+
+class TestServiceDirect:
+    """The protocol-independent core, driven without HTTP."""
+
+    def test_concurrent_requests_against_live_server(self, server):
+        base, _ = server
+        results = []
+
+        def client():
+            for _ in range(5):
+                results.append(post_query(base, {"query": "count(/r/v)"}))
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(results) == 20
+        assert all(
+            status == 200 and body["result"] == "3" for status, body in results
+        )
+
+    def test_queued_requests_are_shed_after_deadline(self):
+        database = Database()
+        database.load_document("r.xml", DOC)
+        service = QueryService(database, workers=1, deadline_seconds=0.001)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                service.execute(SLOW_QUERY)
+            assert service.stats()["timeouts"] == 1
+        finally:
+            service.shutdown(wait=True)
+
+    def test_shutdown_rejects_new_work(self):
+        service = QueryService(Database(), workers=1)
+        service.shutdown()
+        from repro.errors import PathfinderError
+
+        with pytest.raises(PathfinderError):
+            service.execute("1+1")
+
+
+class TestKeepAliveIntegrity:
+    """Error paths must leave the HTTP/1.1 keep-alive stream in sync."""
+
+    def test_error_response_does_not_desync_connection(self, server):
+        import http.client
+
+        base, _ = server
+        host, port = base.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            # a POST with a body to an unknown route: the 404 must drain
+            # the body, or it would be parsed as the next request line
+            conn.request("POST", "/nope", body=b'{"query": "1+1"}')
+            resp = conn.getresponse()
+            assert resp.status == 404
+            resp.read()
+            # the same connection must still serve a valid request
+            conn.request("POST", "/query", body=json.dumps({"query": "1+1"}))
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read())["result"] == "2"
+            # PUT without a document name: same contract
+            conn.request("PUT", "/documents/", body=b"<x/>")
+            resp = conn.getresponse()
+            assert resp.status == 404
+            resp.read()
+            conn.request("POST", "/query", body=json.dumps({"query": "1+1"}))
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+        finally:
+            conn.close()
+
+
+def test_stats_counts_every_failed_request():
+    """Compile errors and unexpected failures must both show in /stats."""
+    database = Database()
+    database.load_document("r.xml", DOC)
+    service = QueryService(database, workers=1)
+    try:
+        from repro.errors import PathfinderError
+
+        with pytest.raises(PathfinderError):
+            service.execute("for $x in")  # syntax error
+        assert service.stats()["errors"] == 1
+    finally:
+        service.shutdown(wait=True)
+
+
+class TestReviewRegressions:
+    """Contract details: falsy-but-valid queries, bad deadline types,
+    shed/timeout exclusivity."""
+
+    def test_falsy_query_text_is_executed(self, server):
+        base, _ = server
+        status, body = post_query(base, {"query": "0"})
+        assert status == 200
+        assert body["result"] == "0"
+
+    def test_non_numeric_deadline_is_400(self, server):
+        base, _ = server
+        status, body = post_query(
+            base, {"query": "1+1", "deadline": [5]}
+        )
+        assert status == 400
+        assert "deadline" in body["error"]
+
+    def test_shed_and_timeout_are_mutually_exclusive(self):
+        """A request whose budget expires while queued counts as shed,
+        not as a timeout — never both."""
+        import threading as _threading
+
+        database = Database()
+        database.load_document("r.xml", DOC)
+        service = QueryService(database, workers=1, deadline_seconds=60.0)
+        try:
+            gate = _threading.Event()
+            # deterministically occupy the only worker until gate.set()
+            blocker = _threading.Thread(
+                target=lambda: service._submit(
+                    lambda session: gate.wait(30), deadline=30
+                )
+            )
+            blocker.start()
+            for _ in range(200):
+                if service.stats()["in_flight"] == 1:
+                    break
+                _threading.Event().wait(0.01)
+            with pytest.raises(DeadlineExceeded):
+                service.execute("1+1", deadline=0.05)  # queued, then shed
+            stats = service.stats()
+            assert stats["shed"] == 1
+            assert stats["timeouts"] == 0
+            gate.set()
+            blocker.join(timeout=60)
+        finally:
+            service.shutdown(wait=True)

@@ -143,3 +143,26 @@ class TestXMarkOnSQLHost:
         query = XMARK_QUERIES[name]
         table = backend.execute_query(query, engine.default_document)
         assert serialize_result(table, engine.arena) == engine.execute(query).serialize()
+
+
+def test_export_skips_superseded_document_versions():
+    """The live-roots export must not copy dead arena rows (replaced
+    document versions) into the SQL host."""
+    from repro import Database
+    from repro.sqlhost.backend import SQLHostBackend
+
+    db = Database()
+    db.load_document("r.xml", "<r><v>1</v><v>2</v><v>3</v></r>")
+    db.load_document("r.xml", "<r><v>9</v></r>", replace=True)
+    backend = SQLHostBackend(db.arena, db.documents)
+    try:
+        (count,) = backend.connection.execute(
+            "SELECT COUNT(*) FROM nodes"
+        ).fetchone()
+        live_root = db.documents["r.xml"]
+        assert count == int(db.arena.size[live_root]) + 1
+        assert count < db.arena.num_nodes  # dead version stayed behind
+        table = backend.execute_query("count(/r/v)", "r.xml")
+        assert table.num_rows == 1  # the trimmed export still evaluates
+    finally:
+        backend.close()

@@ -1,4 +1,4 @@
-"""Documentation checks: markdown links + relational-layer docstrings.
+"""Documentation checks: markdown links + per-package docstring presence.
 
 Two checks, both runnable standalone (CI docs job) and from the test
 suite (``tests/test_docs.py``):
@@ -7,9 +7,10 @@ suite (``tests/test_docs.py``):
   ``docs/*.md`` must point at an existing file (anchors are stripped);
   bare ``http(s)`` links are not fetched.
 * **docstring check** — every public module, class, top-level function
-  and public method under ``src/repro/relational/`` must carry a
-  docstring.  This mirrors ruff's pydocstyle D100–D103 presence rules,
-  which the CI docs job also runs.
+  and public method under the packages in :data:`DOCSTRING_ROOTS`
+  (the relational, api, encoding, sqlhost and server layers) must carry
+  a docstring.  This mirrors ruff's pydocstyle D100–D103 presence
+  rules, which the CI docs job also runs over the same directories.
 
 Usage::
 
@@ -26,10 +27,21 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 #: markdown files whose relative links must resolve
-DOC_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/algebra.md")
+DOC_FILES = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/algebra.md",
+    "docs/serving.md",
+)
 
-#: package subtree held to the public-docstring standard
-DOCSTRING_ROOT = "src/repro/relational"
+#: package subtrees held to the public-docstring standard
+DOCSTRING_ROOTS = (
+    "src/repro/relational",
+    "src/repro/api",
+    "src/repro/encoding",
+    "src/repro/sqlhost",
+    "src/repro/server",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -87,9 +99,10 @@ def _missing_docstrings(tree: ast.Module, rel: str) -> list[str]:
 def check_docstrings() -> list[str]:
     """Return one error string per missing public docstring."""
     errors = []
-    for path in sorted((REPO / DOCSTRING_ROOT).glob("*.py")):
-        rel = str(path.relative_to(REPO))
-        errors.extend(_missing_docstrings(ast.parse(path.read_text()), rel))
+    for root in DOCSTRING_ROOTS:
+        for path in sorted((REPO / root).glob("*.py")):
+            rel = str(path.relative_to(REPO))
+            errors.extend(_missing_docstrings(ast.parse(path.read_text()), rel))
     return errors
 
 
@@ -101,7 +114,10 @@ def main() -> int:
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve, relational layer fully docstringed")
+    print(
+        "docs OK: links resolve; fully docstringed: "
+        + ", ".join(r.rsplit("/", 1)[-1] for r in DOCSTRING_ROOTS)
+    )
     return 0
 
 
