@@ -1,0 +1,104 @@
+"""Structural update latency vs full re-shredding, by document size.
+
+The paper's updatability argument (Section 5): the pre/size/level
+encoding stays usable under structural updates because an update can be
+applied as an arena-level rebuild of the affected document — no XML
+parse, no string re-interning — while the conventional alternative is to
+re-shred the whole document from text.  This benchmark measures, per
+XMark scale:
+
+* **update** — one small structural update (``insert node`` of a fresh
+  element into a deep element) applied through
+  ``Session.execute_update`` (pending update list → epoch rebuild);
+* **reshred** — the same logical change performed the pre-update-
+  facility way: serialize nothing, just hot-replace the document with
+  ``replace_document`` on its full XML text (parse + shred + intern).
+
+Both paths take the exclusive catalog lock and bump the document epoch,
+so the delta is exactly "arena rebuild vs parse+shred".
+
+Run:  python benchmarks/bench_updates.py [reps [scales...]]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import repro
+from repro.xmark import generate_document
+
+DEFAULT_SCALES = (0.0005, 0.002, 0.008)
+DEFAULT_REPS = 5
+
+UPDATE = (
+    'insert node <watch open="yes"><note>bench</note></watch> '
+    "into /site/people/person[1]"
+)
+
+
+def bench_scale(scale: float, reps: int) -> dict:
+    """Time update-vs-reshred at one XMark scale; returns a record."""
+    xml_text = generate_document(scale)
+    session = repro.connect()
+    database = session.database
+    database.load_document("auction.xml", xml_text)
+    node_count = int(database.arena.size[database.documents["auction.xml"]]) + 1
+
+    updates = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        session.execute_update(UPDATE)
+        updates.append(time.perf_counter() - t0)
+
+    reshreds = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        database.replace_document("auction.xml", xml_text)
+        reshreds.append(time.perf_counter() - t0)
+
+    update_s = min(updates)
+    reshred_s = min(reshreds)
+    return {
+        "scale": scale,
+        "nodes": node_count,
+        "update_seconds": update_s,
+        "reshred_seconds": reshred_s,
+        "speedup": reshred_s / max(update_s, 1e-9),
+    }
+
+
+def report_updates(scales=DEFAULT_SCALES, reps: int = DEFAULT_REPS) -> list[dict]:
+    """Print the update-vs-reshred table; returns the raw records."""
+    print("\n=== Update Facility: epoch rebuild vs full re-shred ===")
+    print("(one small structural insert; both paths bump the doc epoch)")
+    print(
+        f"{'scale':>8} | {'nodes':>8} | {'update ms':>10} | "
+        f"{'reshred ms':>10} | {'speedup':>8}"
+    )
+    rows = []
+    for scale in scales:
+        row = bench_scale(scale, reps)
+        rows.append(row)
+        print(
+            f"{row['scale']:>8} | {row['nodes']:>8} "
+            f"| {row['update_seconds'] * 1000:>10.2f} "
+            f"| {row['reshred_seconds'] * 1000:>10.2f} "
+            f"| {row['speedup']:>7.1f}x"
+        )
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: ``bench_updates.py [reps [scales...]]``."""
+    reps = int(argv[1]) if len(argv) > 1 else DEFAULT_REPS
+    scales = tuple(float(a) for a in argv[2:]) or DEFAULT_SCALES
+    report_updates(scales, reps)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

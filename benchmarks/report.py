@@ -11,6 +11,7 @@ Usage::
     python benchmarks/report.py joins      # E7 join-recognition ablation
     python benchmarks/report.py prepared   # plan-cache amortization
     python benchmarks/report.py serve      # HTTP serving throughput sweep
+    python benchmarks/report.py updates    # update latency vs re-shredding
     python benchmarks/report.py all
 """
 
@@ -231,6 +232,12 @@ def report_serve():
     run()
 
 
+def report_updates():
+    from benchmarks.bench_updates import report_updates as run
+
+    run()
+
+
 REPORTS = {
     "table3": report_table3,
     "figure4": report_figure4,
@@ -242,6 +249,7 @@ REPORTS = {
     "sqlhost": report_sqlhost,
     "prepared": report_prepared,
     "serve": report_serve,
+    "updates": report_updates,
 }
 
 

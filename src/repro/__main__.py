@@ -198,6 +198,37 @@ def main(argv: list[str] | None = None, out=None) -> int:
             with open(path, "r", encoding="utf-8") as handle:
                 database.load_document(uri, handle.read())
 
+        from repro.xquery.core import is_updating
+        from repro.xquery.parser import parse_query
+
+        module = parse_query(query)
+        if is_updating(module.body):
+            if args.explain or args.mil or args.baseline:
+                print(
+                    "--explain/--mil/--baseline do not apply to updating "
+                    "queries",
+                    file=sys.stderr,
+                )
+                return 2
+            declared_types = {v.name: v.type_name for v in module.external_vars}
+            bindings = {
+                name: coerce_binding(raw, declared_types.get(name))
+                for name, raw in raw_bindings.items()
+            }
+            summary = session.execute_update(query, bindings)
+            applied = ", ".join(
+                f"{kind}={n}" for kind, n in summary["applied"].items()
+            )
+            docs = ", ".join(
+                f"{uri} (epoch {info['epoch']}, {info['nodes']} nodes)"
+                for uri, info in summary["documents"].items()
+            )
+            print(f"applied: {applied or 'nothing'}", file=out)
+            print(f"updated: {docs or 'no documents'}", file=out)
+            if args.time:
+                print(f"# update {summary['seconds'] * 1000:.1f} ms", file=out)
+            return 0
+
         if args.explain or args.mil:
             if args.bind or args.repeat > 1:
                 print(

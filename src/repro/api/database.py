@@ -176,6 +176,57 @@ class Database:
             self._default_explicit = False
         return self.arena.num_nodes - before
 
+    def apply_update(
+        self,
+        core_module,
+        bindings: dict | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Apply one updating module (XQuery Update Facility) atomically.
+
+        The whole update — pending-update-list collection, structural
+        rebuild, catalog swap, epoch bump and plan-cache invalidation —
+        runs under the **exclusive** catalog lock: in-flight queries
+        finish against the old tree first, and every query starting after
+        this returns sees the new epoch.  This is the same write path a
+        hot document replace takes, but the rebuild works from the
+        existing pre/size/level rows (an append-only delta), not from
+        re-shredding XML text.
+
+        Returns a JSON-ready summary: primitive counts under
+        ``"applied"`` and the new per-document node counts/epochs under
+        ``"documents"``.
+        """
+        from repro.compiler.updates import apply_update_module
+
+        with self._rwlock.write_locked():
+            t0 = time.perf_counter()
+            outcome = apply_update_module(
+                core_module,
+                self.arena,
+                self.documents,
+                self._default_document,
+                bindings=bindings,
+                deadline=deadline,
+            )
+            for uri, new_root in outcome.new_roots.items():
+                self.documents[uri] = new_root
+                self.doc_epochs[uri] = next(self._epoch_counter)
+                self.plan_cache.invalidate_document(uri)
+            if outcome.new_roots:
+                self._estimator = None
+            return {
+                "applied": outcome.applied,
+                "documents": {
+                    uri: {
+                        "nodes": int(self.arena.size[root]) + 1,
+                        "epoch": self.doc_epochs[uri],
+                    }
+                    for uri, root in outcome.new_roots.items()
+                },
+                "seconds": time.perf_counter() - t0,
+            }
+
     def unload_document(self, uri: str) -> None:
         """Remove a document from the catalog and invalidate its plans.
 

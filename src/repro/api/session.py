@@ -40,6 +40,8 @@ class SessionStats:
     """Per-session execution counters."""
 
     queries_executed: int = 0
+    #: updating queries applied via :meth:`Session.execute_update`
+    updates_executed: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     compile_seconds: float = 0.0
@@ -118,6 +120,53 @@ class Session:
     def execute(self, query: str, bindings: dict | None = None, trace: bool = False):
         """One-shot convenience: prepare (cache-backed) and execute."""
         return self.prepare(query).execute(bindings, trace=trace)
+
+    def execute_update(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Apply an updating query (XQuery Update Facility subset).
+
+        ``insert node``/``delete node``/``replace (value of) node``/
+        ``rename node`` expressions — standalone or inside FLWOR,
+        conditionals and sequences — are collected into a pending update
+        list and applied atomically under the database's exclusive
+        catalog lock; affected documents get a new epoch and their cached
+        plans are invalidated, so other sessions (and this one) observe
+        either the pre-update or the post-update tree, never a mix.
+
+        ``bindings`` supplies values for ``declare variable $x external``
+        declarations (session variables apply too, per-call wins);
+        ``deadline`` bounds target/source evaluation in wall-clock
+        seconds.  Returns the applied-primitive summary from
+        :meth:`~repro.api.database.Database.apply_update`.
+        """
+        from repro.xquery.core import desugar_module
+        from repro.xquery.parser import parse_query
+
+        core = desugar_module(parse_query(query))
+        # same binding discipline as the read path (_merged_bindings):
+        # session defaults filtered to declared externals, per-call
+        # bindings checked against the declarations
+        declared = {v.name for v in core.external_vars}
+        merged = {
+            name: value
+            for name, value in self.variables.items()
+            if name in declared
+        }
+        for name, value in (bindings or {}).items():
+            name = name.lstrip("$")
+            if name not in declared:
+                raise PathfinderError(
+                    f"query declares no external variable ${name} "
+                    f"(declared: {sorted(declared) or 'none'})"
+                )
+            merged[name] = value
+        result = self.database.apply_update(core, merged, deadline=deadline)
+        self.stats.updates_executed += 1
+        return result
 
     def explain(self, query: str):
         """Expose every compilation stage of a query (demo hooks).

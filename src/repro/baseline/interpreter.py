@@ -32,7 +32,12 @@ from repro.encoding.arena import (
 )
 from repro.encoding.axes import Axis
 from repro.errors import DynamicError, NotSupportedError, StaticError
-from repro.relational.items import format_double, xpath_round
+from repro.relational.items import (
+    XSDecimal,
+    format_double,
+    xpath_round,
+    xpath_substring,
+)
 from repro.xquery import ast
 
 import numpy as np
@@ -40,6 +45,18 @@ import numpy as np
 
 class QueryTimeout(DynamicError):
     """Raised when evaluation exceeds the configured deadline (a DNF)."""
+
+
+class UntypedAtomic(str):
+    """An ``xs:untypedAtomic`` value (a str subclass used as a type tag).
+
+    Atomized node content carries this class so the interpreter can match
+    the numpy evaluator's typing: untyped values cast to double in
+    aggregates and arithmetic, while genuine ``xs:string`` items compare
+    (and aggregate) as strings.
+    """
+
+    __slots__ = ()
 
 
 class BNode:
@@ -350,9 +367,12 @@ class Interpreter:
             if test.kind == "element" and test.name is not None:
                 return arena.name[first.row] == arena.pool.lookup(test.name)
             return True
+        if test.kind == "xs:decimal":
+            return isinstance(first, XSDecimal)
+        if test.kind in ("xs:double", "xs:float"):
+            return isinstance(first, float) and not isinstance(first, XSDecimal)
         atomic = {
             "xs:integer": int, "xs:int": int, "xs:long": int,
-            "xs:double": float, "xs:decimal": float, "xs:float": float,
             "xs:string": str, "xs:boolean": bool,
         }.get(test.kind)
         if atomic is None:
@@ -381,6 +401,7 @@ class Interpreter:
         both_int = isinstance(a, int) and isinstance(b, int) and not (
             isinstance(a, bool) or isinstance(b, bool)
         )
+        exact = _is_exact(a) and _is_exact(b)
         op = e.op
         if op == "add":
             r = x + y
@@ -390,29 +411,43 @@ class Interpreter:
             r = x * y
         elif op == "div":
             if y == 0:
+                if exact:
+                    raise DynamicError(
+                        "integer/decimal division by zero", code="err:FOAR0001"
+                    )
                 return [float("nan") if x == 0 else float("inf") if x > 0 else float("-inf")]
-            r = x / y
-            return [r]
+            return [XSDecimal(x / y) if exact else float(x / y)]
         elif op == "idiv":
             if y == 0:
                 raise DynamicError("integer division by zero", code="err:FOAR0001")
             return [int(x / y)]
         elif op == "mod":
             if y == 0:
+                if exact:
+                    raise DynamicError(
+                        "integer/decimal division by zero", code="err:FOAR0001"
+                    )
                 return [float("nan")]
             r = float(np.fmod(x, y))
         else:  # pragma: no cover
             raise NotSupportedError(f"arith op {op}")
         if both_int and op in ("add", "sub", "mul", "mod"):
             return [int(r)]
-        return [float(r)]
+        # exact-numeric closure (integer div integer is xs:decimal), so a
+        # nested division by zero is still err:FOAR0001 — same as the
+        # numpy kernels
+        return [XSDecimal(r) if exact else float(r)]
 
     def _e_Neg(self, e: ast.Neg, env):
         a = self._first_atom(self.eval(e.operand, env))
         if a is None:
             return []
         v = _to_number(a)
-        return [-int(v) if isinstance(a, int) and not isinstance(a, bool) else -float(v)]
+        if isinstance(a, int) and not isinstance(a, bool):
+            return [-int(v)]
+        if isinstance(a, XSDecimal):
+            return [XSDecimal(-float(v))]
+        return [-float(v)]
 
     def _e_ValueComp(self, e: ast.ValueComp, env):
         a = self._first_atom(self.eval(e.lhs, env))
@@ -470,7 +505,9 @@ class Interpreter:
         if a is None:
             return []
         t = e.type_name
-        if t in ("xs:double", "xs:decimal", "xs:float"):
+        if t == "xs:decimal":
+            return [XSDecimal(_to_number(a))]
+        if t in ("xs:double", "xs:float"):
             return [float(_to_number(a))]
         if t in ("xs:integer", "xs:int", "xs:long"):
             return [int(_to_number(a))]
@@ -724,11 +761,23 @@ class Interpreter:
         if name == "count":
             return [len(self.eval(args[0], env))]
         if name in ("sum", "avg", "min", "max"):
-            atoms = [
-                _to_number(a) for a in self._atomize_seq(self.eval(args[0], env))
-            ]
-            if not atoms:
+            items = self._atomize_seq(self.eval(args[0], env))
+            if not items:
                 return [0] if name == "sum" else []
+            strings = sum(
+                1
+                for a in items
+                if isinstance(a, str) and not isinstance(a, UntypedAtomic)
+            )
+            if strings:
+                # F&O 15.4: min/max over xs:string sequences compare by
+                # codepoint order; any other string mix is err:FORG0006
+                if name in ("min", "max") and strings == len(items):
+                    return [min(items) if name == "min" else max(items)]
+                raise DynamicError(
+                    f"fn:{name} over non-numeric items", code="err:FORG0006"
+                )
+            atoms = [_to_number(a) for a in items]
             if name == "sum":
                 s = sum(atoms)
             elif name == "avg":
@@ -787,14 +836,12 @@ class Interpreter:
             start = self._single_number(args[1], env)
             if start is None:
                 return [""]
-            b = xpath_round(float(start))
             if len(args) == 3:
                 length = self._single_number(args[2], env)
-                e = b + xpath_round(float(length)) if length is not None else b
-            else:
-                e = len(s) + 1
-            lo = max(b, 1)
-            return [s[lo - 1 : max(e - 1, lo - 1)]]
+                if length is None:
+                    return [""]
+                return [xpath_substring(s, float(start), float(length))]
+            return [xpath_substring(s, float(start))]
         if name == "upper-case":
             return [self._string_arg(args[0], env).upper()]
         if name == "lower-case":
@@ -810,13 +857,18 @@ class Interpreter:
                 return [abs(n) if name == "abs" else n]
             import math
 
+            wrap = XSDecimal if isinstance(v, XSDecimal) else float
+            n = float(n)
+            if math.isnan(n) or math.isinf(n):
+                # floor/ceil/round of non-finite doubles are identities
+                return [wrap(abs(n) if name == "abs" else n)]
             if name == "floor":
-                return [float(math.floor(n))]
+                return [wrap(math.floor(n))]
             if name == "ceiling":
-                return [float(math.ceil(n))]
+                return [wrap(math.ceil(n))]
             if name == "round":
-                return [float(math.floor(n + 0.5))]
-            return [float(abs(n))]
+                return [wrap(math.floor(n + 0.5))]
+            return [wrap(abs(n))]
         if name == "string-join":
             sep = " "
             if len(args) == 2 and isinstance(args[1], ast.Literal):
@@ -829,7 +881,7 @@ class Interpreter:
             seen = set()
             out = []
             for a in self._atomize_seq(self.eval(args[0], env)):
-                key = _string_of_atom(a) if isinstance(a, str) else a
+                key = _distinct_value_key(a)
                 if key not in seen:
                     seen.add(key)
                     out.append(a)
@@ -938,10 +990,16 @@ class Interpreter:
         for item in seq:
             if isinstance(item, BNode):
                 out.append(
-                    self.arena.pool.value(self.arena.string_value_id(item.row))
+                    UntypedAtomic(
+                        self.arena.pool.value(self.arena.string_value_id(item.row))
+                    )
                 )
             elif isinstance(item, BAttr):
-                out.append(self.arena.pool.value(int(self.arena.attr_value[item.aid])))
+                out.append(
+                    UntypedAtomic(
+                        self.arena.pool.value(int(self.arena.attr_value[item.aid]))
+                    )
+                )
             else:
                 out.append(item)
         return out
@@ -964,6 +1022,27 @@ class Interpreter:
 # --------------------------------------------------------------------------
 # atomic helpers (mirroring repro.relational.items semantics)
 # --------------------------------------------------------------------------
+def _distinct_value_key(a):
+    """fn:distinct-values equality key: numerics compare by value across
+    integer/decimal/double (``1`` equals ``1.0``, NaN equals NaN),
+    strings and untyped compare as strings, booleans separately."""
+    if isinstance(a, bool):
+        return ("b", a)
+    if isinstance(a, str):  # includes UntypedAtomic
+        return ("s", str(a))
+    if isinstance(a, _NUMERIC):
+        v = float(a)
+        return ("n", "NaN") if v != v else ("n", v)
+    return ("o", a)
+
+
+def _is_exact(v) -> bool:
+    """True for exact numerics (xs:integer / xs:decimal literals)."""
+    return (isinstance(v, int) and not isinstance(v, bool)) or isinstance(
+        v, XSDecimal
+    )
+
+
 def _to_number(v) -> float | int:
     if isinstance(v, bool):
         return int(v)

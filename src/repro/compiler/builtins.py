@@ -279,10 +279,24 @@ def _fn_false(comp, args, loop, env):
 
 
 def _fn_distinct_values(comp, args, loop, env):
+    """Distinct by *value* equality: ``1`` and ``1.0`` are one value, so
+    the distinct keys are the (class, canonical key) columns computed by
+    the ``atom_cls``/``atom_key`` kernels, not the raw item encoding."""
     q = comp._atomize(comp.compile(args[0], loop, env))
+    cls = alg.Map(q, "atom_cls", "dv_cls", (col("item"),))
+    key = alg.Map(cls, "atom_key", "dv_key", (col("item"),))
     d = alg.Distinct(
-        alg.Project(q, (("iter", "iter"), ("pos", "pos"), ("item", "item"))),
-        ("iter", "item"),
+        alg.Project(
+            key,
+            (
+                ("iter", "iter"),
+                ("pos", "pos"),
+                ("item", "item"),
+                ("dv_cls", "dv_cls"),
+                ("dv_key", "dv_key"),
+            ),
+        ),
+        ("iter", "dv_cls", "dv_key"),
         order_col="pos",
     )
     renum = alg.RowNum(d, "pos1", (("pos", False),), "iter")

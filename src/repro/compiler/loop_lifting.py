@@ -29,6 +29,7 @@ from repro.relational.algebra import col, const
 from repro.relational.items import (
     K_BOOL,
     K_DBL,
+    K_DEC,
     K_INT,
     K_STR,
     K_UNTYPED,
@@ -111,6 +112,7 @@ class Compiler:
 
     # ------------------------------------------------------------- helpers
     def fresh(self, base: str) -> str:
+        """A fresh column name (the '%' keeps it out of the query's)."""
         return f"{base}%{next(self._fresh_counter)}"
 
     def _q3(self, plan: alg.Op) -> alg.Op:
@@ -196,6 +198,12 @@ class Compiler:
     def compile(self, e: ast.Expr, loop: alg.Op, env: dict) -> alg.Op:
         """Compile expression ``e`` in scope ``loop`` with variable
         environment ``env``; returns an (iter, pos, item) plan."""
+        if isinstance(e, ast.UPDATE_NODES):
+            raise StaticError(
+                "updating expressions cannot be compiled as queries — "
+                "run them through Session.execute_update (or POST /update)",
+                code="err:XUST0001",
+            )
         method = getattr(self, "_c_" + type(e).__name__, None)
         if method is None:
             raise NotSupportedError(f"cannot compile {type(e).__name__}")
@@ -529,7 +537,7 @@ class Compiler:
             return alg.Project(sel, (("iter", "iter"),))
         kind_of_type = {
             "xs:integer": K_INT, "xs:int": K_INT, "xs:long": K_INT,
-            "xs:double": K_DBL, "xs:decimal": K_DBL, "xs:float": K_DBL,
+            "xs:double": K_DBL, "xs:decimal": K_DEC, "xs:float": K_DBL,
             "xs:string": K_STR, "xs:boolean": K_BOOL,
             "xs:untypedAtomic": K_UNTYPED, "xs:anyAtomicType": -3,
         }
@@ -877,7 +885,7 @@ def _last_step_untyped(step: ast.Step) -> bool:
 
 def _cast_fn(type_name: str) -> str:
     mapping = {
-        "xs:double": "cast_dbl", "xs:decimal": "cast_dbl", "xs:float": "cast_dbl",
+        "xs:double": "cast_dbl", "xs:decimal": "cast_dec", "xs:float": "cast_dbl",
         "xs:integer": "cast_int", "xs:int": "cast_int", "xs:long": "cast_int",
         "xs:string": "cast_str", "xs:untypedAtomic": "cast_str",
         "xs:boolean": "ebv",

@@ -30,11 +30,13 @@ class NodeHandle:
         self.is_attribute = is_attribute
 
     def serialize(self) -> str:
+        """The node as XML markup (``name="value"`` for attributes)."""
         if self.is_attribute:
             return serialize_attribute(self.arena, self.node)
         return serialize_node(self.arena, self.node)
 
     def string_value(self) -> str:
+        """The node's XPath string-value (concatenated text content)."""
         if self.is_attribute:
             return self.arena.pool.value(int(self.arena.attr_value[self.node]))
         return self.arena.pool.value(self.arena.string_value_id(self.node))

@@ -1,0 +1,529 @@
+"""The pending-update-list stage of the XQuery Update Facility.
+
+Updating queries go through the same front end as reads (parse →
+desugar), then take this separate back end instead of loop-lifting:
+
+1. **Collect** — :class:`PendingUpdateCompiler` walks the updating
+   expression, evaluating every embedded *non*-updating expression
+   (targets, sources, FLWOR bindings, conditionals) with the nested-loop
+   interpreter over the current arena, and emits a flat **pending update
+   list** of primitives (XQUF 3.2).  Nothing is modified during
+   collection, so a failed update leaves the database untouched.
+2. **Check** — the merge rules of ``upd:mergeUpdates``: two renames, two
+   ``replace node`` or two ``replace value of`` primitives on the same
+   target are errors (``err:XUDY0015``/``0016``/``0017``).
+3. **Apply** — primitives are grouped per target document into a
+   :class:`~repro.encoding.arena.TreeDelta` and each affected document is
+   rebuilt as a fresh arena fragment
+   (:meth:`~repro.encoding.arena.NodeArena.rebuild_with_delta`).  The
+   caller (``Database.apply_update``) swaps the catalog roots and bumps
+   the document epochs under its exclusive lock, so concurrent readers
+   see the old tree or the new one, never a torn state.
+
+Update queries are expected to be small and rare relative to reads, so
+the item-at-a-time interpreter is the honest evaluator here — the
+column-store machinery stays dedicated to the read path, which is the
+trade-off the paper's updatability argument (Section 5) makes as well.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.baseline.interpreter import BAttr, BNode, Interpreter, _lexical
+from repro.encoding.arena import (
+    NK_COMMENT,
+    NK_DOC,
+    NK_ELEM,
+    NK_PI,
+    NK_TEXT,
+    NodeArena,
+    TreeDelta,
+)
+from repro.errors import DynamicError, StaticError
+from repro.xquery import ast
+from repro.xquery.core import is_updating
+
+#: primitive kinds that target an attribute id instead of a node row
+_ATTR_KINDS = frozenset(
+    {"deleteAttr", "replaceAttr", "replaceAttrValue", "renameAttr"}
+)
+
+
+@dataclass(frozen=True)
+class UpdatePrimitive:
+    """One entry of the pending update list.
+
+    ``kind`` names the primitive (``insertInto``, ``insertFirst``,
+    ``insertLast``, ``insertBefore``, ``insertAfter``, ``insertAttrs``,
+    ``delete``, ``deleteAttr``, ``replaceNode``, ``replaceAttr``,
+    ``replaceValue``, ``replaceContent``, ``replaceAttrValue``,
+    ``rename``, ``renameAttr``); ``target`` is an arena node row — or an
+    attribute id for the ``*Attr*`` kinds; ``content`` holds constructor
+    entries (``("copy", row)`` / ``("text", sid)``) or ``(name, value)``
+    sid pairs for attribute payloads; ``value`` is the new value/name sid
+    where one applies.
+    """
+
+    kind: str
+    target: int
+    content: tuple = ()
+    value: int = -1
+
+
+@dataclass
+class UpdateOutcome:
+    """What one applied update did: per-primitive counts, the new root of
+    every rebuilt document, and how long collection+application took."""
+
+    applied: dict = field(default_factory=dict)
+    new_roots: dict = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+class PendingUpdateCompiler:
+    """Collects an updating module into a pending update list."""
+
+    def __init__(
+        self,
+        arena: NodeArena,
+        documents: dict[str, int],
+        default_document: str | None,
+        deadline: float | None = None,
+    ):
+        self.arena = arena
+        self.interp = Interpreter(arena, documents, default_document)
+        if deadline is not None:
+            self.interp.set_deadline(deadline)
+
+    # ------------------------------------------------------------- compile
+    def compile_module(
+        self, module: ast.Module, bindings: dict | None = None
+    ) -> list[UpdatePrimitive]:
+        """Walk the module body, returning its merged pending update list."""
+        if not is_updating(module.body):
+            raise StaticError(
+                "not an updating expression (expected insert/delete/"
+                "replace/rename node)",
+                code="err:XUST0001",
+            )
+        self.interp._functions = {
+            (f.name, len(f.params)): f for f in module.functions
+        }
+        env: dict[str, list] = {}
+        for name, value in (bindings or {}).items():
+            seq = list(value) if isinstance(value, (list, tuple)) else [value]
+            env[name.lstrip("$")] = seq
+        pul: list[UpdatePrimitive] = []
+        self._collect(module.body, env, pul)
+        _check_merge(pul)
+        return pul
+
+    # ------------------------------------------------------------- walking
+    def _collect(self, e: ast.Expr, env: dict, out: list) -> None:
+        if isinstance(e, ast.EmptySeq):
+            return
+        if isinstance(e, ast.Sequence):
+            for item in e.items:
+                self._collect(item, env, out)
+            return
+        if isinstance(e, ast.IfExpr):
+            branch = e.then if self.interp._ebv(self.interp.eval(e.cond, env)) else e.els
+            self._collect(branch, env, out)
+            return
+        if isinstance(e, ast.Typeswitch):
+            operand = self.interp.eval(e.operand, env)
+            for case in e.cases:
+                if self.interp._matches_type(operand, case.test):
+                    inner = dict(env)
+                    if case.var is not None:
+                        inner[case.var] = operand
+                    self._collect(case.expr, inner, out)
+                    return
+            inner = dict(env)
+            if e.default_var is not None:
+                inner[e.default_var] = operand
+            self._collect(e.default, inner, out)
+            return
+        if isinstance(e, ast.FLWOR):
+            self._flwor(e, env, out)
+            return
+        if isinstance(e, ast.InsertExpr):
+            self._insert(e, env, out)
+            return
+        if isinstance(e, ast.DeleteExpr):
+            self._delete(e, env, out)
+            return
+        if isinstance(e, ast.ReplaceExpr):
+            self._replace(e, env, out)
+            return
+        if isinstance(e, ast.ReplaceValueExpr):
+            self._replace_value(e, env, out)
+            return
+        if isinstance(e, ast.RenameExpr):
+            self._rename(e, env, out)
+            return
+        raise StaticError(
+            f"{type(e).__name__} is not an updating expression here",
+            code="err:XUST0001",
+        )
+
+    def _flwor(self, e: ast.FLWOR, env: dict, out: list) -> None:
+        """Iterate a FLWOR whose return clause is updating.  The pending
+        update list is unordered (XQUF 2.4), so ``order by`` is ignored."""
+
+        def run(idx: int, cur_env: dict) -> None:
+            if idx == len(e.clauses):
+                if e.where is not None and not self.interp._ebv(
+                    self.interp.eval(e.where, cur_env)
+                ):
+                    return
+                self._collect(e.ret, cur_env, out)
+                return
+            clause = e.clauses[idx]
+            if isinstance(clause, ast.LetClause):
+                inner = dict(cur_env)
+                inner[clause.var] = self.interp.eval(clause.expr, cur_env)
+                run(idx + 1, inner)
+                return
+            seq = self.interp.eval(clause.expr, cur_env)
+            for position, item in enumerate(seq, start=1):
+                inner = dict(cur_env)
+                inner[clause.var] = [item]
+                if clause.pos_var is not None:
+                    inner[clause.pos_var] = [position]
+                run(idx + 1, inner)
+
+        run(0, env)
+
+    # ---------------------------------------------------------- primitives
+    def _content(self, items: list) -> tuple[list, list]:
+        """Source sequence → (constructor entries, attribute pairs).
+
+        Mirrors element-constructor content semantics: adjacent atomics
+        join with single spaces into one text node, nodes are deep-copy
+        entries.  Attribute items must precede everything else
+        (``err:XUTY0004``).
+        """
+        arena = self.arena
+        spec: list = []
+        attrs: list = []
+        run: list[str] = []
+
+        def flush() -> None:
+            if run:
+                spec.append(("text", arena.pool.intern(" ".join(run))))
+                run.clear()
+
+        for item in items:
+            if isinstance(item, BAttr):
+                if spec or run:
+                    raise DynamicError(
+                        "attribute nodes must come first in insert/replace "
+                        "content",
+                        code="err:XUTY0004",
+                    )
+                attrs.append(
+                    (
+                        int(arena.attr_name[item.aid]),
+                        int(arena.attr_value[item.aid]),
+                    )
+                )
+            elif isinstance(item, BNode):
+                flush()
+                spec.append(("copy", item.row))
+            else:
+                run.append(_lexical(item))
+        flush()
+        return spec, attrs
+
+    def _single_node(self, e: ast.Expr, env: dict, what: str):
+        seq = self.interp.eval(e, env)
+        if len(seq) != 1:
+            raise DynamicError(
+                f"the {what} of an update must be exactly one node "
+                f"(got {len(seq)} items)",
+                code="err:XUDY0027" if not seq else "err:XUTY0008",
+            )
+        item = seq[0]
+        if not isinstance(item, (BNode, BAttr)):
+            raise DynamicError(
+                f"the {what} of an update must be a node", code="err:XUTY0008"
+            )
+        return item
+
+    def _insert(self, e: ast.InsertExpr, env: dict, out: list) -> None:
+        spec, attrs = self._content(self.interp.eval(e.source, env))
+        target = self._single_node(e.target, env, "insert target")
+        arena = self.arena
+        if isinstance(target, BAttr):
+            raise DynamicError(
+                "cannot insert into an attribute", code="err:XUTY0005"
+            )
+        row = target.row
+        kind = int(arena.kind[row])
+        if e.position in ("into", "first", "last"):
+            if kind not in (NK_ELEM, NK_DOC):
+                raise DynamicError(
+                    "the target of 'insert into' must be an element or "
+                    "document node",
+                    code="err:XUTY0005",
+                )
+            if attrs:
+                if kind != NK_ELEM:
+                    raise DynamicError(
+                        "attributes can only be inserted into elements",
+                        code="err:XUTY0022",
+                    )
+                out.append(UpdatePrimitive("insertAttrs", row, tuple(attrs)))
+            if spec:
+                prim = {"into": "insertInto", "first": "insertFirst",
+                        "last": "insertLast"}[e.position]
+                out.append(UpdatePrimitive(prim, row, tuple(spec)))
+            return
+        # before / after
+        if attrs:
+            raise DynamicError(
+                "attributes cannot be inserted before/after a node",
+                code="err:XUTY0022",
+            )
+        parent = int(arena.parent[row])
+        if parent < 0 or int(arena.kind[parent]) == NK_DOC:
+            # siblings of the root element would multi-root the document
+            raise DynamicError(
+                "the target of 'insert before/after' must have an element "
+                "parent",
+                code="err:XUDY0029",
+            )
+        if spec:
+            prim = "insertBefore" if e.position == "before" else "insertAfter"
+            out.append(UpdatePrimitive(prim, row, tuple(spec)))
+
+    def _delete(self, e: ast.DeleteExpr, env: dict, out: list) -> None:
+        arena = self.arena
+        for item in self.interp.eval(e.target, env):
+            if isinstance(item, BAttr):
+                out.append(UpdatePrimitive("deleteAttr", item.aid))
+                continue
+            if not isinstance(item, BNode):
+                raise DynamicError(
+                    "delete node requires node targets", code="err:XUTY0007"
+                )
+            row = item.row
+            parent = int(arena.parent[row])
+            if (
+                int(arena.kind[row]) == NK_DOC
+                or parent < 0
+                or int(arena.kind[parent]) == NK_DOC
+            ):
+                # a loaded document must keep its root element
+                raise DynamicError(
+                    "cannot delete a document root", code="err:XUDY0020"
+                )
+            out.append(UpdatePrimitive("delete", row))
+
+    def _replace(self, e: ast.ReplaceExpr, env: dict, out: list) -> None:
+        target = self._single_node(e.target, env, "replace target")
+        spec, attrs = self._content(self.interp.eval(e.source, env))
+        arena = self.arena
+        if isinstance(target, BAttr):
+            if spec:
+                raise DynamicError(
+                    "an attribute can only be replaced by attributes",
+                    code="err:XUTY0011",
+                )
+            out.append(
+                UpdatePrimitive("replaceAttr", target.aid, tuple(attrs))
+            )
+            return
+        row = target.row
+        if int(arena.kind[row]) == NK_DOC or int(arena.parent[row]) < 0:
+            raise DynamicError(
+                "cannot replace a document root", code="err:XUDY0009"
+            )
+        if attrs:
+            raise DynamicError(
+                "a non-attribute node cannot be replaced by attributes",
+                code="err:XUTY0010",
+            )
+        out.append(UpdatePrimitive("replaceNode", row, tuple(spec)))
+
+    def _replace_value(
+        self, e: ast.ReplaceValueExpr, env: dict, out: list
+    ) -> None:
+        target = self._single_node(e.target, env, "replace-value target")
+        text = self.interp._joined_string(self.interp.eval(e.value, env))
+        sid = self.arena.pool.intern(text)
+        if isinstance(target, BAttr):
+            out.append(UpdatePrimitive("replaceAttrValue", target.aid, value=sid))
+            return
+        row = target.row
+        kind = int(self.arena.kind[row])
+        if kind == NK_ELEM:
+            out.append(UpdatePrimitive("replaceContent", row, value=sid))
+        elif kind in (NK_TEXT, NK_COMMENT, NK_PI):
+            out.append(UpdatePrimitive("replaceValue", row, value=sid))
+        else:
+            raise DynamicError(
+                "replace value of node requires an element, attribute, "
+                "text, comment or PI target",
+                code="err:XUTY0008",
+            )
+
+    def _rename(self, e: ast.RenameExpr, env: dict, out: list) -> None:
+        target = self._single_node(e.target, env, "rename target")
+        atom = self.interp._first_atom(self.interp.eval(e.name, env))
+        if atom is None:
+            raise DynamicError(
+                "rename requires a non-empty new name", code="err:XPTY0004"
+            )
+        name = _lexical(atom)
+        sid = self.arena.pool.intern(name)
+        if isinstance(target, BAttr):
+            out.append(UpdatePrimitive("renameAttr", target.aid, value=sid))
+            return
+        row = target.row
+        if int(self.arena.kind[row]) not in (NK_ELEM, NK_PI):
+            raise DynamicError(
+                "only elements, attributes and processing-instructions "
+                "can be renamed",
+                code="err:XUTY0012",
+            )
+        out.append(UpdatePrimitive("rename", row, value=sid))
+
+
+# --------------------------------------------------------------------------
+# merge checks + application
+# --------------------------------------------------------------------------
+def _check_merge(pul: list[UpdatePrimitive]) -> None:
+    """``upd:mergeUpdates`` compatibility: at most one rename, one replace
+    node and one replace value per target (XUDY0015/0016/0017)."""
+    rules = (
+        (("rename", "renameAttr"), "err:XUDY0015", "rename"),
+        (("replaceNode", "replaceAttr"), "err:XUDY0016", "replace node"),
+        (
+            ("replaceValue", "replaceContent", "replaceAttrValue"),
+            "err:XUDY0017",
+            "replace value of node",
+        ),
+    )
+    for kinds, code, label in rules:
+        counts = Counter(
+            (p.kind in _ATTR_KINDS, p.target) for p in pul if p.kind in kinds
+        )
+        for (_, target), n in counts.items():
+            if n > 1:
+                raise DynamicError(
+                    f"two '{label}' primitives target the same node "
+                    f"(row {target})",
+                    code=code,
+                )
+
+
+_PRIMITIVE_LABELS = {
+    "insertInto": "insert",
+    "insertFirst": "insert",
+    "insertLast": "insert",
+    "insertBefore": "insert",
+    "insertAfter": "insert",
+    "insertAttrs": "insert",
+    "delete": "delete",
+    "deleteAttr": "delete",
+    "replaceNode": "replace",
+    "replaceAttr": "replace",
+    "replaceValue": "replace_value",
+    "replaceContent": "replace_value",
+    "replaceAttrValue": "replace_value",
+    "rename": "rename",
+    "renameAttr": "rename",
+}
+
+
+def _delta_for(delta: TreeDelta, p: UpdatePrimitive) -> None:
+    """Fold one primitive into the per-document delta."""
+    if p.kind == "insertInto" or p.kind == "insertLast":
+        delta.insert_last.setdefault(p.target, []).extend(p.content)
+    elif p.kind == "insertFirst":
+        delta.insert_first.setdefault(p.target, []).extend(p.content)
+    elif p.kind == "insertBefore":
+        delta.insert_before.setdefault(p.target, []).extend(p.content)
+    elif p.kind == "insertAfter":
+        delta.insert_after.setdefault(p.target, []).extend(p.content)
+    elif p.kind == "insertAttrs":
+        delta.insert_attrs.setdefault(p.target, []).extend(p.content)
+    elif p.kind == "delete":
+        delta.delete.add(p.target)
+    elif p.kind == "deleteAttr":
+        delta.delete_attrs.add(p.target)
+    elif p.kind == "replaceNode":
+        delta.replace[p.target] = list(p.content)
+    elif p.kind == "replaceAttr":
+        delta.replace_attr[p.target] = list(p.content)
+    elif p.kind == "replaceValue":
+        delta.replace_value[p.target] = p.value
+    elif p.kind == "replaceContent":
+        delta.replace_content[p.target] = p.value
+    elif p.kind == "replaceAttrValue":
+        delta.replace_attr_value[p.target] = p.value
+    elif p.kind == "renameAttr":
+        delta.rename_attr[p.target] = p.value
+    else:  # rename
+        delta.rename[p.target] = p.value
+
+
+def apply_update_module(
+    module: ast.Module,
+    arena: NodeArena,
+    documents: dict[str, int],
+    default_document: str | None,
+    bindings: dict | None = None,
+    deadline: float | None = None,
+) -> UpdateOutcome:
+    """Collect, check and apply one updating module.
+
+    The caller must hold the catalog exclusively (the Database layer
+    does): collection reads the current trees, application appends the
+    rebuilt fragments, and the returned ``new_roots`` map tells the
+    caller which catalog entries to swap.
+    """
+    t0 = time.perf_counter()
+    compiler = PendingUpdateCompiler(arena, documents, default_document, deadline)
+    pul = compiler.compile_module(module, bindings)
+
+    root_to_uri = {root: uri for uri, root in documents.items()}
+    deltas: dict[str, TreeDelta] = {}
+    applied: Counter = Counter()
+    import numpy as np
+
+    for p in pul:
+        if p.kind in _ATTR_KINDS:
+            owner = int(arena.attr_owner[p.target])
+            if owner < 0:
+                raise DynamicError(
+                    "the target attribute is not attached to a document",
+                    code="err:XUDY0014",
+                )
+            root = int(arena.root_of(np.asarray([owner], dtype=np.int64))[0])
+        else:
+            root = int(arena.root_of(np.asarray([p.target], dtype=np.int64))[0])
+        uri = root_to_uri.get(root)
+        if uri is None:
+            raise DynamicError(
+                "update targets must live in a loaded document "
+                "(constructed fragments are transient)",
+                code="err:XUDY0014",
+            )
+        _delta_for(deltas.setdefault(uri, TreeDelta()), p)
+        applied[_PRIMITIVE_LABELS[p.kind]] += 1
+
+    new_roots = {
+        uri: arena.rebuild_with_delta(documents[uri], delta)
+        for uri, delta in deltas.items()
+    }
+    return UpdateOutcome(
+        applied=dict(sorted(applied.items())),
+        new_roots=new_roots,
+        seconds=time.perf_counter() - t0,
+    )

@@ -24,6 +24,7 @@ expensive string comparisons and reduces space consumption").
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -86,6 +87,46 @@ class _Buf:
 
     def __setitem__(self, idx, value):
         self.view()[idx] = value
+
+
+@dataclass
+class TreeDelta:
+    """Structural edits applied while rebuilding one document fragment.
+
+    This is the arena-level half of the XQuery Update Facility: the
+    pending-update-list compiler (:mod:`repro.compiler.updates`) resolves
+    update primitives to *old* arena rows/attribute ids and fills these
+    maps; :meth:`NodeArena.rebuild_with_delta` then re-emits the document
+    as a brand-new fragment with the edits applied.  Content entries are
+    ``("copy", row)`` (deep copy of an existing subtree) or ``("text",
+    sid)`` (a new text node), exactly like the element constructor spec.
+    """
+
+    #: target row → content inserted immediately before/after it
+    insert_before: dict[int, list] = field(default_factory=dict)
+    insert_after: dict[int, list] = field(default_factory=dict)
+    #: parent row → content inserted as first/last children
+    insert_first: dict[int, list] = field(default_factory=dict)
+    insert_last: dict[int, list] = field(default_factory=dict)
+    #: element row → ``(name sid, value sid)`` attributes to add
+    insert_attrs: dict[int, list] = field(default_factory=dict)
+    #: node rows / attribute ids whose subtrees are dropped
+    delete: set = field(default_factory=set)
+    delete_attrs: set = field(default_factory=set)
+    #: target row → replacement content (``replace node``)
+    replace: dict[int, list] = field(default_factory=dict)
+    #: attribute id → ``(name sid, value sid)`` replacements
+    replace_attr: dict[int, list] = field(default_factory=dict)
+    #: text/comment/PI row → new value sid (``replace value of node``)
+    replace_value: dict[int, int] = field(default_factory=dict)
+    #: element row → text sid replacing its entire content
+    replace_content: dict[int, int] = field(default_factory=dict)
+    #: attribute id → new value sid
+    replace_attr_value: dict[int, int] = field(default_factory=dict)
+    #: element/PI row → new name sid (``rename node``)
+    rename: dict[int, int] = field(default_factory=dict)
+    #: attribute id → new name sid
+    rename_attr: dict[int, int] = field(default_factory=dict)
 
 
 class NodeArena:
@@ -431,6 +472,181 @@ class NodeArena:
                     dest + i, int(self.attr_name[j]), int(self.attr_value[j])
                 )
         return dest
+
+    # ------------------------------------------------------------ updates
+    def _child_rows_of(self, row: int) -> list[int]:
+        """Child rows of ``row`` in document order (helper for rebuilds)."""
+        order, lo, hi = self.children_ranges(np.asarray([row], dtype=np.int64))
+        return sorted(int(r) for r in order[int(lo[0]) : int(hi[0])])
+
+    def _attr_ids_of(self, row: int) -> list[int]:
+        """Attribute ids owned by ``row`` (helper for rebuilds)."""
+        order, lo, hi = self.attr_ranges(np.asarray([row], dtype=np.int64))
+        return [int(j) for j in order[int(lo[0]) : int(hi[0])]]
+
+    def rebuild_with_delta(self, root: int, delta: TreeDelta) -> int:
+        """Re-emit the fragment rooted at ``root`` with ``delta`` applied.
+
+        This is the structural-update primitive behind the XQuery Update
+        Facility: the encoding is append-only, so instead of shifting
+        ``pre`` ranks in place the whole affected document is rebuilt as
+        a **new fragment** (one pre-order pass over the old rows, exactly
+        like shredding) and the caller swaps the catalog entry to the
+        returned root — an epoch bump, not a re-shred of XML text.  Old
+        rows stay valid for readers that started before the swap.
+        """
+        kinds: list[int] = []
+        sizes: list[int] = []
+        levels: list[int] = []
+        parents: list[int] = []
+        names: list[int] = []
+        values: list[int] = []
+        attrs: list[tuple[int, int, int]] = []  # (owner offset, name, value)
+
+        # rows the delta touches, sorted: any subtree free of them (and
+        # every copied source subtree) is emitted as one vectorised slice
+        # instead of row by row — updates cost O(touched path + content),
+        # not O(document), on the hot rebuild loop
+        touched_set: set[int] = set(delta.delete)
+        for table in (
+            delta.insert_before,
+            delta.insert_after,
+            delta.insert_first,
+            delta.insert_last,
+            delta.insert_attrs,
+            delta.replace,
+            delta.replace_value,
+            delta.replace_content,
+            delta.rename,
+        ):
+            touched_set.update(table)
+        for attr_table in (
+            delta.delete_attrs,
+            delta.replace_attr,
+            delta.replace_attr_value,
+            delta.rename_attr,
+        ):
+            touched_set.update(int(self.attr_owner[a]) for a in attr_table)
+        touched = np.asarray(sorted(touched_set), dtype=np.int64)
+
+        def append_row(kind, level, parent, name, value) -> int:
+            offset = len(kinds)
+            kinds.append(kind)
+            sizes.append(0)
+            levels.append(level)
+            parents.append(parent)
+            names.append(name)
+            values.append(value)
+            return offset
+
+        def bulk_copy(row: int, level: int, parent: int) -> int:
+            """Copy the whole subtree of ``row`` verbatim as array slices
+            (region copy: the subtree is rows ``row .. row+size``)."""
+            count = int(self.size[row]) + 1
+            base_off = len(kinds)
+            src = slice(row, row + count)
+            kinds.extend(self.kind[src].tolist())
+            sizes.extend(self.size[src].tolist())
+            levels.extend((self.level[src] - int(self.level[row]) + level).tolist())
+            parents.extend((self.parent[src] - row + base_off).tolist())
+            parents[base_off] = parent
+            names.extend(self.name[src].tolist())
+            values.extend(self.value[src].tolist())
+            _, _, _, attr_order, attr_owners_sorted, _ = self._refresh_indices()
+            a_lo = np.searchsorted(attr_owners_sorted, row, side="left")
+            a_hi = np.searchsorted(attr_owners_sorted, row + count, side="left")
+            for j in attr_order[a_lo:a_hi]:
+                j = int(j)
+                attrs.append(
+                    (
+                        base_off + int(self.attr_owner[j]) - row,
+                        int(self.attr_name[j]),
+                        int(self.attr_value[j]),
+                    )
+                )
+            return count
+
+        def copy_fresh(row: int, level: int, parent: int) -> int:
+            """Deep-copy ``row`` verbatim (inserted/replacement content is
+            outside the delta's domain); returns rows appended."""
+            if int(self.kind[row]) == NK_DOC:
+                # a document-node source contributes its children
+                return sum(
+                    bulk_copy(c, level, parent) for c in self._child_rows_of(row)
+                )
+            return bulk_copy(row, level, parent)
+
+        def emit_entry(entry, level: int, parent: int) -> int:
+            tag, payload = entry
+            if tag == "text":
+                append_row(NK_TEXT, level, parent, -1, payload)
+                return 1
+            return copy_fresh(payload, level, parent)
+
+        def emit_inserts(table: dict, row: int, level: int, parent: int) -> int:
+            return sum(emit_entry(e, level, parent) for e in table.get(row, ()))
+
+        def emit(row: int, level: int, parent: int) -> int:
+            """Emit ``row`` with the delta applied; returns rows appended."""
+            if row in delta.delete:
+                return 0
+            if row in delta.replace:
+                return sum(
+                    emit_entry(e, level, parent) for e in delta.replace[row]
+                )
+            # untouched subtree: one region copy instead of a row walk
+            nxt = int(np.searchsorted(touched, row))
+            if nxt == len(touched) or int(touched[nxt]) > row + int(self.size[row]):
+                return bulk_copy(row, level, parent)
+            kind = int(self.kind[row])
+            name = delta.rename.get(row, int(self.name[row]))
+            value = delta.replace_value.get(row, int(self.value[row]))
+            offset = append_row(kind, level, parent, name, value)
+            if kind == NK_ELEM:
+                for aid in self._attr_ids_of(row):
+                    if aid in delta.delete_attrs:
+                        continue
+                    if aid in delta.replace_attr:
+                        for aname, avalue in delta.replace_attr[aid]:
+                            attrs.append((offset, aname, avalue))
+                        continue
+                    aname = delta.rename_attr.get(aid, int(self.attr_name[aid]))
+                    avalue = delta.replace_attr_value.get(
+                        aid, int(self.attr_value[aid])
+                    )
+                    attrs.append((offset, aname, avalue))
+                for aname, avalue in delta.insert_attrs.get(row, ()):
+                    attrs.append((offset, aname, avalue))
+            total = 1
+            if kind in (NK_ELEM, NK_DOC):
+                if row in delta.replace_content:
+                    sid = delta.replace_content[row]
+                    if self.pool.value(sid) != "":
+                        total += emit_entry(("text", sid), level + 1, offset)
+                else:
+                    total += emit_inserts(delta.insert_first, row, level + 1, offset)
+                    for child in self._child_rows_of(row):
+                        total += emit_inserts(
+                            delta.insert_before, child, level + 1, offset
+                        )
+                        total += emit(child, level + 1, offset)
+                        total += emit_inserts(
+                            delta.insert_after, child, level + 1, offset
+                        )
+                    total += emit_inserts(delta.insert_last, row, level + 1, offset)
+            sizes[offset] = total - 1
+            return total
+
+        with self.mutation_lock:
+            if emit(root, 0, -1) == 0:  # pragma: no cover - guarded upstream
+                raise DynamicError("an update may not delete the document root")
+            self.begin_fragment()
+            first_row = self.num_nodes
+            rebased = [p + first_row if p >= 0 else -1 for p in parents]
+            base = self.append_nodes(kinds, sizes, levels, rebased, names, values)
+            for owner_offset, name_id, value_id in attrs:
+                self.append_attr(base + owner_offset, name_id, value_id)
+            return base
 
     # ------------------------------------------------------------ node info
     def name_of(self, node: int) -> str:

@@ -209,6 +209,11 @@ class PathfinderEngine:
             trace=result.trace,
         )
 
+    def execute_update(self, query: str) -> dict:
+        """Apply an updating query (XQuery Update Facility subset); see
+        :meth:`repro.api.session.Session.execute_update`."""
+        return self._session.execute_update(query)
+
     def explain(self, query: str) -> ExplainReport:
         """Expose every compilation stage for a query (demo hooks)."""
         return self._session.explain(query)

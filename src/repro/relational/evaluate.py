@@ -23,7 +23,18 @@ from repro.encoding.arena import NodeArena
 from repro.errors import AlgebraError, DynamicError, TypeError_
 from repro.relational import algebra as alg
 from repro.relational import items as it
-from repro.relational.items import ItemColumn, K_ATTR, K_BOOL, K_DBL, K_INT, K_NODE, K_STR, K_UNTYPED
+from repro.relational.items import (
+    ItemColumn,
+    K_ATTR,
+    K_BOOL,
+    K_DBL,
+    K_DEC,
+    K_INT,
+    K_NODE,
+    K_QNAME,
+    K_STR,
+    K_UNTYPED,
+)
 from repro.relational.kernels import (
     combine_keys,
     in_set,
@@ -296,26 +307,30 @@ def _eval_aggr(node: alg.Aggr, inputs, ctx) -> Table:
         if not isinstance(col, ItemColumn):
             col = ItemColumn.from_ints(col)
         col = col.take(order_idx)
-        if col.is_homogeneous(K_INT) and node.kind in ("sum", "min", "max"):
-            vals = col.data.astype(np.float64)
-            integral = True
+        stringish = np.isin(col.kinds, np.array([K_STR, K_QNAME], dtype=np.uint8))
+        if len(col) and stringish.any():
+            agg_col = _string_aggregate(node, col, stringish, starts, ctx)
         else:
-            vals = it.to_double(col, ctx.pool)
-            integral = False
-        if len(vals) == 0:
-            reduced = np.empty(0, dtype=np.float64)
-        elif node.kind == "sum":
-            reduced = np.add.reduceat(vals, starts)
-        elif node.kind == "min":
-            reduced = np.minimum.reduceat(vals, starts)
-        elif node.kind == "max":
-            reduced = np.maximum.reduceat(vals, starts)
-        else:  # avg
-            reduced = np.add.reduceat(vals, starts) / counts
-        if integral:
-            agg_col = ItemColumn.from_ints(reduced.astype(np.int64))
-        else:
-            agg_col = ItemColumn.from_doubles(reduced)
+            if col.is_homogeneous(K_INT) and node.kind in ("sum", "min", "max"):
+                vals = col.data.astype(np.float64)
+                integral = True
+            else:
+                vals = it.to_double(col, ctx.pool)
+                integral = False
+            if len(vals) == 0:
+                reduced = np.empty(0, dtype=np.float64)
+            elif node.kind == "sum":
+                reduced = np.add.reduceat(vals, starts)
+            elif node.kind == "min":
+                reduced = np.minimum.reduceat(vals, starts)
+            elif node.kind == "max":
+                reduced = np.maximum.reduceat(vals, starts)
+            else:  # avg
+                reduced = np.add.reduceat(vals, starts) / counts
+            if integral:
+                agg_col = ItemColumn.from_ints(reduced.astype(np.int64))
+            else:
+                agg_col = ItemColumn.from_doubles(reduced)
     elif node.kind == "str_join":
         col = table.item(node.arg).take(order_idx)
         sids = it.to_string_ids(col, ctx.pool)
@@ -345,6 +360,42 @@ def _eval_aggr(node: alg.Aggr, inputs, ctx) -> Table:
             return Table({node.target: empty})
         return Table({node.target: agg_col})
     return Table({node.group: group_vals, node.target: agg_col})
+
+
+def _string_aggregate(node, col, stringish, starts, ctx) -> ItemColumn:
+    """Aggregation when string items are present, judged **per group**:
+    ``fn:min``/``fn:max`` over an all-string group compare by codepoint
+    order (F&O 15.4); a group mixing strings and numbers — and every
+    ``fn:sum``/``fn:avg`` group containing a string — is ``err:FORG0006``.
+    Groups without strings keep the numeric semantics."""
+    n = len(col)
+    if node.kind not in ("min", "max"):
+        raise DynamicError(
+            f"fn:{node.kind} over non-numeric items", code="err:FORG0006"
+        )
+    pool = ctx.pool
+    pick = min if node.kind == "min" else max
+    kinds_out = np.empty(len(starts), dtype=np.uint8)
+    data_out = np.empty(len(starts), dtype=np.int64)
+    for i, s in enumerate(starts):
+        e = starts[i + 1] if i + 1 < len(starts) else n
+        group = col.take(slice(s, e))
+        group_str = stringish[s:e]
+        if group_str.all():
+            sid = pool.intern(pick(pool.value(int(x)) for x in group.data))
+            kinds_out[i], data_out[i] = K_STR, sid
+        elif group_str.any():
+            raise DynamicError(
+                f"fn:{node.kind} over mixed string/numeric items",
+                code="err:FORG0006",
+            )
+        elif group.is_homogeneous(K_INT):
+            value = int(pick(group.data))
+            kinds_out[i], data_out[i] = K_INT, value
+        else:
+            value = float(pick(it.to_double(group, pool)))
+            kinds_out[i], data_out[i] = K_DBL, int(it._bits(np.float64(value))[()])
+    return ItemColumn(kinds_out, data_out)
 
 
 def _eval_step(node: alg.StepJoin, inputs, ctx) -> Table:
@@ -601,7 +652,9 @@ def _fn_kind_code(ctx, a):
 
 def _fn_is_numeric(ctx, a):
     kinds = _as_item(a).kinds
-    return ItemColumn.from_bools((kinds == K_INT) | (kinds == K_DBL))
+    return ItemColumn.from_bools(
+        (kinds == K_INT) | (kinds == K_DBL) | (kinds == K_DEC)
+    )
 
 
 def _fn_node_kind(ctx, a):
@@ -624,6 +677,41 @@ def _fn_root_of(ctx, a):
 
 def _fn_cast_dbl(ctx, a):
     return ItemColumn.from_doubles(it.to_double(_as_item(a), ctx.pool))
+
+
+def _fn_cast_dec(ctx, a):
+    return ItemColumn.from_decimals(it.to_double(_as_item(a), ctx.pool))
+
+
+#: kinds whose items compare numerically in fn:distinct-values
+_DV_NUMERIC = np.array([K_INT, K_DBL, K_DEC], dtype=np.uint8)
+#: kinds whose items compare as strings in fn:distinct-values
+_DV_STRINGS = np.array([K_STR, K_UNTYPED, K_QNAME], dtype=np.uint8)
+
+
+def _fn_atom_cls(ctx, a):
+    """fn:distinct-values equality class: numerics compare with numerics
+    (``1 eq 1.0``), strings/untyped with each other, booleans apart."""
+    a = _as_item(a)
+    out = np.full(len(a), 3, dtype=np.int64)
+    out[np.isin(a.kinds, _DV_NUMERIC)] = 0
+    out[np.isin(a.kinds, _DV_STRINGS)] = 1
+    out[a.kinds == K_BOOL] = 2
+    return out
+
+
+def _fn_atom_key(ctx, a):
+    """fn:distinct-values equality key within the class: numerics compare
+    by value (canonical double bits, one NaN), strings by surrogate."""
+    a = _as_item(a)
+    out = a.data.astype(np.int64).copy()
+    numeric = np.isin(a.kinds, _DV_NUMERIC)
+    if numeric.any():
+        v = it.to_double(a.take(numeric), ctx.pool)
+        # canonical NaN bits: distinct-values treats NaN as equal to NaN
+        v = np.where(np.isnan(v), np.float64("nan"), v)
+        out[numeric] = it._bits(v)
+    return out
 
 
 def _fn_cast_int(ctx, a):
@@ -724,20 +812,16 @@ def _str_map_fn(transform):
 
 
 def _fn_substring(ctx, a, start, length=None):
-    """XPath substring: 1-based start, rounding per the F&O spec."""
+    """XPath substring: 1-based start, rounding per the F&O spec (NaN or
+    infinite positions select no characters instead of crashing)."""
     xs = _decode_strings(ctx, a)
     starts = it.to_double(_as_item(start), ctx.pool)
     lengths = None if length is None else it.to_double(_as_item(length), ctx.pool)
     pool = ctx.pool
     out = []
     for i, s in enumerate(xs):
-        b = it.xpath_round(float(starts[i]))
-        if lengths is None:
-            e = len(s) + 1
-        else:
-            e = b + it.xpath_round(float(lengths[i]))
-        lo = max(b, 1)
-        out.append(pool.intern(s[lo - 1 : max(e - 1, lo - 1)]))
+        n = None if lengths is None else float(lengths[i])
+        out.append(pool.intern(it.xpath_substring(s, float(starts[i]), n)))
     return ItemColumn.from_pooled(K_STR, out)
 
 
@@ -756,6 +840,8 @@ def _round_fn(kind):
             r = np.floor(v + 0.5)  # XPath rounds .5 up
         else:  # abs
             r = np.abs(v)
+        if item.is_homogeneous(K_DEC):
+            return ItemColumn.from_decimals(r)
         return ItemColumn.from_doubles(r)
 
     return fn
@@ -880,8 +966,11 @@ _MAP_FNS: dict[str, Callable] = {
     "node_kind": _fn_node_kind,
     "root_of": _fn_root_of,
     "cast_dbl": _fn_cast_dbl,
+    "cast_dec": _fn_cast_dec,
     "cast_int": _fn_cast_int,
     "cast_str": _fn_cast_str,
+    "atom_cls": _fn_atom_cls,
+    "atom_key": _fn_atom_key,
     "node_eq": _fn_node_eq,
     "node_before": _fn_node_before,
     "node_after": _fn_node_after,

@@ -44,6 +44,7 @@ K_NODE = 4
 K_ATTR = 5
 K_UNTYPED = 6
 K_QNAME = 7
+K_DEC = 8
 
 KIND_NAMES = {
     K_INT: "xs:integer",
@@ -54,7 +55,22 @@ KIND_NAMES = {
     K_ATTR: "attribute",
     K_UNTYPED: "xs:untypedAtomic",
     K_QNAME: "xs:QName",
+    K_DEC: "xs:decimal",
 }
+
+
+class XSDecimal(float):
+    """An ``xs:decimal`` value (a float subclass used as a type tag).
+
+    The engine stores decimals with double precision, but the *static
+    type* matters for conformance: dividing exact numerics (integer or
+    decimal) by zero is ``err:FOAR0001``, while only ``xs:double``
+    division may yield INF/NaN (F&O 6.2.4).  The lexer tags decimal
+    literals (``1.5``) with this class so both back-ends can tell
+    ``1.0 div 0.0`` (an error) apart from ``1.0e0 div 0e0`` (INF).
+    """
+
+    __slots__ = ()
 
 #: declared external-variable type → acceptable item kinds at bind time
 #: (the compiler rejects declarations outside this table statically)
@@ -63,9 +79,9 @@ PARAM_TYPE_KINDS: dict[str, tuple[int, ...]] = {
     "xs:int": (K_INT,),
     "xs:long": (K_INT,),
     # numeric promotion: an integer binding satisfies a double declaration
-    "xs:double": (K_DBL, K_INT),
-    "xs:decimal": (K_DBL, K_INT),
-    "xs:float": (K_DBL, K_INT),
+    "xs:double": (K_DBL, K_DEC, K_INT),
+    "xs:decimal": (K_DEC, K_DBL, K_INT),
+    "xs:float": (K_DBL, K_DEC, K_INT),
     "xs:string": (K_STR,),
     "xs:untypedAtomic": (K_STR, K_UNTYPED),
     "xs:boolean": (K_BOOL,),
@@ -74,7 +90,9 @@ PARAM_TYPE_KINDS: dict[str, tuple[int, ...]] = {
 #: kinds whose payload is a pool surrogate
 _POOLED = (K_STR, K_UNTYPED, K_QNAME)
 #: kinds that participate in numeric arithmetic without casting
-_NUMERIC = (K_INT, K_DBL)
+_NUMERIC = (K_INT, K_DBL, K_DEC)
+#: exact numeric kinds — division by zero raises instead of yielding INF
+_EXACT = (K_INT, K_DEC)
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 _EMPTY_U8 = np.empty(0, dtype=np.uint8)
@@ -243,6 +261,11 @@ class ItemColumn:
         return cls.of_kind(K_DBL, _bits(np.asarray(values, dtype=np.float64)))
 
     @classmethod
+    def from_decimals(cls, values) -> "ItemColumn":
+        """Encode floats as ``xs:decimal`` items (payload = raw IEEE bits)."""
+        return cls.of_kind(K_DEC, _bits(np.asarray(values, dtype=np.float64)))
+
+    @classmethod
     def from_bools(cls, values) -> "ItemColumn":
         """Encode a boolean mask as ``xs:boolean`` items."""
         return cls.of_kind(K_BOOL, np.asarray(values, dtype=bool).astype(np.int64))
@@ -277,6 +300,9 @@ class ItemColumn:
                     raise TypeError_(
                         f"integer {v} exceeds the engine's 64-bit item range"
                     ) from None
+            elif isinstance(v, XSDecimal):
+                kinds[i] = K_DEC
+                data[i] = _bits(np.float64(v))
             elif isinstance(v, float):
                 kinds[i] = K_DBL
                 data[i] = _bits(np.float64(v))
@@ -331,6 +357,8 @@ def decode_item(kind: int, payload: int, pool: StringPool):
         return payload
     if kind == K_DBL:
         return float(np.int64(payload).view(np.float64))
+    if kind == K_DEC:
+        return XSDecimal(np.int64(payload).view(np.float64))
     if kind == K_BOOL:
         return bool(payload)
     if kind in _POOLED:
@@ -344,6 +372,8 @@ def encode_item(value, pool: StringPool) -> tuple[int, int]:
         return K_BOOL, int(value)
     if isinstance(value, int):
         return K_INT, int(value)
+    if isinstance(value, XSDecimal):
+        return K_DEC, int(_bits(np.float64(value))[()])
     if isinstance(value, float):
         return K_DBL, int(_bits(np.float64(value))[()])
     if isinstance(value, str):
@@ -369,7 +399,7 @@ def to_double(col: ItemColumn, pool: StringPool) -> np.ndarray:
     m = kinds == K_INT
     if m.any():
         out[m] = data[m].astype(np.float64)
-    m = kinds == K_DBL
+    m = (kinds == K_DBL) | (kinds == K_DEC)
     if m.any():
         out[m] = _unbits(data[m])
     m = kinds == K_BOOL
@@ -408,7 +438,7 @@ def lexical(kind: int, payload: int, pool: StringPool) -> str:
     """The XQuery lexical (string) form of one atomic item."""
     if kind == K_INT:
         return str(payload)
-    if kind == K_DBL:
+    if kind in (K_DBL, K_DEC):
         return format_double(float(np.int64(payload).view(np.float64)))
     if kind == K_BOOL:
         return "true" if payload else "false"
@@ -420,6 +450,32 @@ def lexical(kind: int, payload: int, pool: StringPool) -> str:
 def xpath_round(v: float) -> int:
     """fn:round semantics: round half toward positive infinity."""
     return int(math.floor(v + 0.5))
+
+
+def xpath_substring(s: str, start: float, length: float | None = None) -> str:
+    """``fn:substring`` per F&O 7.4.3, including the NaN/±INF edge cases.
+
+    The spec keeps the characters at positions ``p`` with ``round(start)
+    <= p`` and (three-argument form) ``p < round(start) + round(length)``;
+    every comparison involving NaN is false, so a NaN start or length
+    yields ``""`` — it must not crash the rounding step.
+    """
+    if math.isnan(start):
+        return ""
+    lo = start if math.isinf(start) else math.floor(start + 0.5)
+    if length is None:
+        hi = math.inf
+    else:
+        if math.isnan(length):
+            return ""
+        hi = lo + (length if math.isinf(length) else math.floor(length + 0.5))
+        if math.isnan(hi):  # -INF start + INF length
+            return ""
+    begin = max(lo, 1)
+    if math.isinf(begin) or hi <= begin:
+        return ""
+    end = len(s) + 1 if math.isinf(hi) else min(int(hi), len(s) + 1)
+    return s[int(begin) - 1 : end - 1]
 
 
 def format_double(v: float) -> str:
@@ -440,12 +496,21 @@ _ARITH = {"add", "sub", "mul", "div", "idiv", "mod"}
 _CMP = {"eq", "ne", "lt", "le", "gt", "ge"}
 
 
+def _exact_numeric(col: ItemColumn) -> bool:
+    """True when every item is an exact numeric (xs:integer/xs:decimal)."""
+    return bool(
+        len(col) == 0 or np.all(np.isin(col.kinds, np.array(_EXACT, dtype=np.uint8)))
+    )
+
+
 def arithmetic(op: str, a: ItemColumn, b: ItemColumn, pool: StringPool) -> ItemColumn:
     """Elementwise arithmetic with XQuery numeric promotion.
 
-    integer op integer stays integral for ``add/sub/mul/idiv/mod``;
-    anything else (or ``div``) promotes to double.  Untyped operands are
-    cast to double first (the F&O rule for untypedAtomic in arithmetic).
+    integer op integer stays integral for ``add/sub/mul/idiv/mod``; two
+    exact numerics (integer/decimal) stay decimal; anything else promotes
+    to double.  Untyped operands are cast to double first (the F&O rule
+    for untypedAtomic in arithmetic).  Dividing exact numerics by zero is
+    ``err:FOAR0001`` — only ``xs:double`` division yields INF/NaN.
     """
     if op not in _ARITH:
         raise ValueError(f"unknown arithmetic op {op!r}")
@@ -466,8 +531,13 @@ def arithmetic(op: str, a: ItemColumn, b: ItemColumn, pool: StringPool) -> ItemC
             return ItemColumn.from_ints(np.where((x < 0) != (y < 0), -q, q))
         r = np.fmod(x.astype(np.float64), y.astype(np.float64)).astype(np.int64)
         return ItemColumn.from_ints(r)
+    exact = _exact_numeric(a) and _exact_numeric(b)
     x = to_double(a, pool)
     y = to_double(b, pool)
+    if exact and op in ("div", "mod") and np.any(y == 0):
+        raise DynamicError(
+            "integer/decimal division by zero", code="err:FOAR0001"
+        )
     with np.errstate(divide="ignore", invalid="ignore"):
         if op == "add":
             r = x + y
@@ -483,6 +553,11 @@ def arithmetic(op: str, a: ItemColumn, b: ItemColumn, pool: StringPool) -> ItemC
             return ItemColumn.from_ints(np.trunc(x / y).astype(np.int64))
         else:  # mod
             r = np.fmod(x, y)
+    # closure over exact numerics: integer div integer (and any op mixing
+    # integers with decimals) has type xs:decimal, so nested division by
+    # zero is still detected
+    if exact:
+        return ItemColumn.from_decimals(r)
     return ItemColumn.from_doubles(r)
 
 
@@ -490,6 +565,8 @@ def negate(a: ItemColumn, pool: StringPool) -> ItemColumn:
     """Unary minus with the same promotion rules as :func:`arithmetic`."""
     if a.is_homogeneous(K_INT):
         return ItemColumn.from_ints(-a.data)
+    if _exact_numeric(a):
+        return ItemColumn.from_decimals(-to_double(a, pool))
     return ItemColumn.from_doubles(-to_double(a, pool))
 
 
@@ -554,7 +631,7 @@ def ebv(col: ItemColumn, pool: StringPool) -> np.ndarray:
     out[m] = data[m] != 0
     m = kinds == K_INT
     out[m] = data[m] != 0
-    m = kinds == K_DBL
+    m = (kinds == K_DBL) | (kinds == K_DEC)
     if m.any():
         v = _unbits(data[m])
         out[m] = (v != 0) & ~np.isnan(v)
@@ -609,4 +686,6 @@ def join_keys(col: ItemColumn) -> tuple[np.ndarray, np.ndarray]:
     """
     kinds = col.kinds.copy()
     kinds[kinds == K_UNTYPED] = K_STR
+    # decimals carry double bit patterns, so value-equal keys match
+    kinds[kinds == K_DEC] = K_DBL
     return kinds, col.data

@@ -131,7 +131,7 @@ def _item_cols(op: alg.Op, memo) -> frozenset:
         return _item_cols_of(op.child, memo)
     if isinstance(op, alg.Map):
         base = _item_cols_of(op.child, memo)
-        if op.fn == "kind_code":
+        if op.fn in ("kind_code", "atom_cls", "atom_key"):
             return base - {op.target}
         return base | {op.target}
     if isinstance(op, alg.Atomize):

@@ -13,6 +13,8 @@ method   path                   behaviour
 =======  =====================  ===========================================
 POST     ``/query``             ``{"query": ..., "bindings": {...},
                                 "deadline": secs}`` → serialized result
+POST     ``/update``            same body shape, updating query →
+                                applied-primitive counts + new epochs
 GET      ``/explain``           ``?q=<query>`` → plan stages + pass stats
 GET      ``/documents``         catalog listing (uri, nodes, epoch, default)
 PUT      ``/documents/<uri>``   body = XML; load or hot-replace
@@ -146,10 +148,12 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {url.path}"})
 
     def do_POST(self):
-        """Route POST requests (``/query``)."""
+        """Route POST requests (``/query`` and ``/update``)."""
         url = urlparse(self.path)
         if url.path == "/query":
             self._dispatch(self._query)
+        elif url.path == "/update":
+            self._dispatch(self._update)
         else:
             self._discard_body()
             self._send_json(404, {"error": f"no route {url.path}"})
@@ -183,7 +187,9 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
             return None
         return unquote(path[len(prefix):])
 
-    def _query(self) -> None:
+    def _query_body(self) -> tuple[str, dict, object]:
+        """Validate a ``/query``-shaped JSON body → (query, bindings,
+        deadline); shared by the ``/query`` and ``/update`` routes."""
         body = json.loads(self._read_body() or b"{}")
         query = body.get("query") if isinstance(body, dict) else None
         if not isinstance(query, str) or not query.strip():
@@ -193,9 +199,16 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
         bindings = body.get("bindings") or {}
         if not isinstance(bindings, dict):
             raise PathfinderError('"bindings" must be a JSON object')
-        payload = self.service.execute(
-            body["query"], bindings, deadline=body.get("deadline")
-        )
+        return query, bindings, body.get("deadline")
+
+    def _query(self) -> None:
+        query, bindings, deadline = self._query_body()
+        payload = self.service.execute(query, bindings, deadline=deadline)
+        self._send_json(200, payload)
+
+    def _update(self) -> None:
+        query, bindings, deadline = self._query_body()
+        payload = self.service.execute_update(query, bindings, deadline=deadline)
         self._send_json(200, payload)
 
     def _explain(self, url) -> None:

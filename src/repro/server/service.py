@@ -207,6 +207,42 @@ class QueryService:
 
         return self._submit(run, deadline)
 
+    def execute_update(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Apply an updating query on the pool (``POST /update``).
+
+        Same deadline discipline as :meth:`execute` — overstayed queued
+        requests are shed, and the wall-clock budget also bounds the
+        update's target/source evaluation; the exclusive-lock application
+        itself rides the Database's write path (identical to a hot
+        document replace), so no pool worker can deadlock on it.
+        """
+        try:
+            budget = self.deadline_seconds if deadline is None else float(deadline)
+        except (TypeError, ValueError):
+            budget = self.deadline_seconds  # _submit rejects the request
+
+        def run(session):
+            from repro.baseline.interpreter import QueryTimeout
+
+            try:
+                payload = session.execute_update(
+                    query, bindings or {}, deadline=budget
+                )
+            except QueryTimeout as exc:
+                raise DeadlineExceeded(str(exc)) from None
+            with self._stats_lock:
+                payload["updates_executed"] = sum(
+                    s.stats.updates_executed for s in self._all_sessions
+                )
+            return payload
+
+        return self._submit(run, deadline)
+
     def explain(self, query: str, deadline: float | None = None) -> dict:
         """Compile a query and return its plan stages (``/explain``)."""
 
@@ -273,10 +309,12 @@ class QueryService:
                 },
             }
         executed = sum(s.stats.queries_executed for s in sessions)
+        updates = sum(s.stats.updates_executed for s in sessions)
         fallbacks = sum(s.stats.sqlhost_fallbacks for s in sessions)
         payload.update(
             {
                 "queries_executed": executed,
+                "updates_executed": updates,
                 "sqlhost_fallbacks": fallbacks,
                 "plan_cache": {
                     "size": len(cache),

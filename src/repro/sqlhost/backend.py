@@ -14,13 +14,14 @@ import sqlite3
 import numpy as np
 
 from repro.encoding.arena import NodeArena
-from repro.errors import NotSupportedError
+from repro.errors import DynamicError, NotSupportedError
 from repro.relational import algebra as alg
 from repro.relational.items import (
     ItemColumn,
     K_ATTR,
     K_BOOL,
     K_DBL,
+    K_DEC,
     K_INT,
     K_NODE,
     K_STR,
@@ -92,10 +93,24 @@ class SQLHostBackend:
                 data = np.empty(n, dtype=np.int64)
                 for r, row in enumerate(rows):
                     k = int(row[idx])
+                    if k < 0:
+                        # sentinel kinds: SQL cannot raise, so dynamic
+                        # errors travel as impossible kind codes
+                        from repro.sqlhost.sqlgen import ERR_KIND_FOAR0001
+
+                        if k == ERR_KIND_FOAR0001:
+                            raise DynamicError(
+                                "integer/decimal division by zero",
+                                code="err:FOAR0001",
+                            )
+                        raise DynamicError(
+                            "aggregate over non-numeric items",
+                            code="err:FORG0006",
+                        )
                     kinds[r] = k
                     if k in (K_INT, K_BOOL, K_NODE, K_ATTR):
                         data[r] = int(row[idx + 1])
-                    elif k == K_DBL:
+                    elif k in (K_DBL, K_DEC):
                         v = row[idx + 2]
                         value = math.nan if v is None else float(v)
                         data[r] = np.float64(value).view(np.int64)

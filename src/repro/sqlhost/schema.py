@@ -18,7 +18,7 @@ import sqlite3
 import numpy as np
 
 from repro.encoding.arena import NodeArena
-from repro.relational.items import xpath_round
+from repro.relational.items import xpath_substring
 
 DDL = """
 CREATE TABLE nodes (
@@ -78,17 +78,12 @@ def _register_functions(con: sqlite3.Connection) -> None:
     def xq_substring2(s, start):
         if s is None or start is None:
             return ""
-        b = xpath_round(float(start))
-        lo = max(b, 1)
-        return s[lo - 1 :]
+        return xpath_substring(s, float(start))
 
     def xq_substring3(s, start, length):
         if s is None or start is None or length is None:
             return ""
-        b = xpath_round(float(start))
-        e = b + xpath_round(float(length))
-        lo = max(b, 1)
-        return s[lo - 1 : max(e - 1, lo - 1)]
+        return xpath_substring(s, float(start), float(length))
 
     def xq_substring_before(s, sub):
         if not sub or sub not in (s or ""):
@@ -117,16 +112,28 @@ def _register_functions(con: sqlite3.Connection) -> None:
     con.create_function(
         "xq_normalize_space", 1, xq_normalize_space, deterministic=True
     )
+    def _finite(fn):
+        """floor/ceil/round are identities on non-finite doubles (and NaN
+        travels as NULL, already handled by the None check)."""
+
+        def wrapped(v):
+            if v is None:
+                return None
+            v = float(v)
+            if math.isinf(v):
+                return v
+            return float(fn(v))
+
+        return wrapped
+
     con.create_function(
-        "xq_floor", 1, lambda v: None if v is None else float(math.floor(v)),
-        deterministic=True,
+        "xq_floor", 1, _finite(math.floor), deterministic=True
     )
     con.create_function(
-        "xq_ceiling", 1, lambda v: None if v is None else float(math.ceil(v)),
-        deterministic=True,
+        "xq_ceiling", 1, _finite(math.ceil), deterministic=True
     )
     con.create_function(
-        "xq_round", 1, lambda v: None if v is None else float(math.floor(v + 0.5)),
+        "xq_round", 1, _finite(lambda v: math.floor(v + 0.5)),
         deterministic=True,
     )
     con.create_function(

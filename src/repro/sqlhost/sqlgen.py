@@ -28,15 +28,30 @@ from repro.relational.items import (
     K_ATTR,
     K_BOOL,
     K_DBL,
+    K_DEC,
     K_INT,
     K_NODE,
+    K_QNAME,
     K_STR,
     K_UNTYPED,
 )
+from repro.relational.items import XSDecimal
 from repro.relational.optimizer import _item_cols_of, schema_of
 
-_NUMERICISH = f"({K_INT}, {K_DBL}, {K_BOOL})"
+_NUMERICISH = f"({K_INT}, {K_DBL}, {K_DEC}, {K_BOOL})"
 _POOLEDISH = f"({K_STR}, {K_UNTYPED})"
+#: fn:distinct-values equality classes (mirrors the numpy atom_cls kernel)
+_DV_NUMERIC_SQL = f"({K_INT}, {K_DBL}, {K_DEC})"
+_DV_STRING_SQL = f"({K_STR}, {K_UNTYPED}, {K_QNAME})"
+#: exact numerics (division by zero is err:FOAR0001, not INF)
+_EXACT_SQL = f"({K_INT}, {K_DEC})"
+#: string kinds in aggregates (fn:min/max string semantics, FORG0006)
+_AGG_STRING_SQL = f"({K_STR}, {K_QNAME})"
+
+#: sentinel item kinds the backend decoder turns into dynamic errors —
+#: SQL cannot raise, so type violations travel as impossible kind codes
+ERR_KIND_FORG0006 = -1
+ERR_KIND_FOAR0001 = -2
 
 _KIND_TEST_SQL = {
     "element": NK_ELEM,
@@ -81,6 +96,8 @@ class ConstItem:
             self.k, self.i, self.d, self.s = str(K_BOOL), str(int(value)), "NULL", "NULL"
         elif isinstance(value, int):
             self.k, self.i, self.d, self.s = str(K_INT), str(value), "NULL", "NULL"
+        elif isinstance(value, XSDecimal):
+            self.k, self.i, self.d, self.s = str(K_DEC), "NULL", repr(float(value)), "NULL"
         elif isinstance(value, float):
             if value != value:  # NaN travels as NULL
                 d = "NULL"
@@ -105,7 +122,7 @@ def dbl(x) -> str:
     """The item cast to REAL (NULL = NaN)."""
     return (
         f"(CASE WHEN {x.k} IN ({K_INT}, {K_BOOL}) THEN CAST({x.i} AS REAL) "
-        f"WHEN {x.k} = {K_DBL} THEN {x.d} "
+        f"WHEN {x.k} IN ({K_DBL}, {K_DEC}) THEN {x.d} "
         f"WHEN {x.k} IN {_POOLEDISH} THEN xq_double({x.s}) "
         f"ELSE NULL END)"
     )
@@ -117,7 +134,7 @@ def txt(x) -> str:
         f"(CASE WHEN {x.k} IN {_POOLEDISH} THEN {x.s} "
         f"WHEN {x.k} = {K_INT} THEN CAST({x.i} AS TEXT) "
         f"WHEN {x.k} = {K_BOOL} THEN (CASE WHEN {x.i} = 1 THEN 'true' ELSE 'false' END) "
-        f"WHEN {x.k} = {K_DBL} THEN xq_fmt_double({x.d}) "
+        f"WHEN {x.k} IN ({K_DBL}, {K_DEC}) THEN xq_fmt_double({x.d}) "
         f"ELSE NULL END)"
     )
 
@@ -139,7 +156,7 @@ def ebv(x) -> str:
     """SQL for the effective boolean value of one item quad."""
     return (
         f"(CASE WHEN {x.k} IN ({K_NODE}, {K_ATTR}) THEN 1 "
-        f"WHEN {x.k} = {K_DBL} THEN COALESCE({x.d} <> 0.0, 0) "
+        f"WHEN {x.k} IN ({K_DBL}, {K_DEC}) THEN COALESCE({x.d} <> 0.0, 0) "
         f"WHEN {x.k} IN ({K_INT}, {K_BOOL}) THEN {x.i} <> 0 "
         f"ELSE LENGTH(COALESCE({x.s}, '')) > 0 END)"
     )
@@ -477,7 +494,7 @@ class SQLGenerator:
             if ref
             else "1"
         )
-        kind_expr = (
+        numeric_kind = (
             f"(CASE WHEN {all_int} THEN {K_INT} ELSE {K_DBL} END)"
             if node.kind in ("sum", "min", "max")
             else str(K_DBL)
@@ -492,13 +509,39 @@ class SQLGenerator:
             if node.kind in ("sum", "min", "max")
             else f"{agg}({val})"
         )
+        s_expr = "NULL"
+        if ref is not None:
+            # per-group string handling, mirroring the numpy evaluator:
+            # all-string min/max groups compare by codepoint order
+            # (BINARY collation == codepoint order in UTF-8); any other
+            # string mix is err:FORG0006 via the sentinel kind
+            strish = (
+                f"SUM(CASE WHEN {ref.k} IN {_AGG_STRING_SQL} THEN 1 ELSE 0 END)"
+            )
+            if node.kind in ("min", "max"):
+                kind_expr = (
+                    f"(CASE WHEN {strish} = 0 THEN {numeric_kind} "
+                    f"WHEN {strish} = COUNT(*) THEN {K_STR} "
+                    f"ELSE {ERR_KIND_FORG0006} END)"
+                )
+                s_expr = (
+                    f"(CASE WHEN {strish} = COUNT(*) AND {strish} > 0 "
+                    f"THEN {agg}({txt(ref)}) ELSE NULL END)"
+                )
+            else:
+                kind_expr = (
+                    f"(CASE WHEN {strish} = 0 THEN {numeric_kind} "
+                    f"ELSE {ERR_KIND_FORG0006} END)"
+                )
+        else:
+            kind_expr = numeric_kind
         # ungrouped SQL aggregates return one NULL row over empty input;
         # the algebra semantics (and numpy evaluator) return no row
         having = "" if node.group else " HAVING COUNT(*) > 0"
         self._emit(
             node,
             f"SELECT {group_sel}{kind_expr} AS {q(t + '_k')}, {i_expr} AS {q(t + '_i')}, "
-            f"{d_expr} AS {q(t + '_d')}, NULL AS {q(t + '_s')} "
+            f"{d_expr} AS {q(t + '_d')}, {s_expr} AS {q(t + '_s')} "
             f"FROM {child} c{group_by}{having}",
         )
 
@@ -623,21 +666,49 @@ def _map_fn_sql(fn: str, args):
         sql = {"add": f"{x} + {y}", "sub": f"{x} - {y}", "mul": f"{x} * {y}",
                "div": f"{x} / {y}", "idiv": f"CAST({x} / {y} AS INTEGER)",
                "mod": f"xq_mod({x}, {y})"}[fn]
+        exact = f"({a.k} IN {_EXACT_SQL} AND {b.k} IN {_EXACT_SQL})"
         if fn == "idiv":
-            return _int_quad(sql)
+
+            class _IDiv:
+                # integer division by zero is err:FOAR0001 (the decoder
+                # raises on the sentinel kind)
+                k = (
+                    f"(CASE WHEN {y} = 0.0 THEN {ERR_KIND_FOAR0001} "
+                    f"ELSE {K_INT} END)"
+                )
+                i = f"(CASE WHEN {y} = 0.0 THEN 0 ELSE {sql} END)"
+                d = "NULL"
+                s = "NULL"
+
+            return _IDiv()
         both_int = f"({a.k} = {K_INT} AND {b.k} = {K_INT})"
         if fn == "div":
 
             class _Div:
-                k = str(K_DBL)
+                # exact-numeric (integer/decimal) division by zero is
+                # err:FOAR0001; exact operands keep xs:decimal typing
+                k = (
+                    f"(CASE WHEN {exact} AND {y} = 0.0 THEN {ERR_KIND_FOAR0001} "
+                    f"WHEN {exact} THEN {K_DEC} ELSE {K_DBL} END)"
+                )
                 i = "NULL"
                 d = f"({sql})"
                 s = "NULL"
 
             return _Div()
 
+        zero_guard = (
+            f"{exact} AND {y} = 0.0 THEN {ERR_KIND_FOAR0001}"
+            if fn == "mod"
+            else f"0 THEN {ERR_KIND_FOAR0001}"  # never taken for + - *
+        )
+
         class _Arith:
-            k = f"(CASE WHEN {both_int} THEN {K_INT} ELSE {K_DBL} END)"
+            k = (
+                f"(CASE WHEN {zero_guard} "
+                f"WHEN {both_int} THEN {K_INT} "
+                f"WHEN {exact} THEN {K_DEC} ELSE {K_DBL} END)"
+            )
             i = f"(CASE WHEN {both_int} THEN CAST({sql} AS INTEGER) ELSE NULL END)"
             d = f"(CASE WHEN {both_int} THEN NULL ELSE {sql} END)"
             s = "NULL"
@@ -647,7 +718,10 @@ def _map_fn_sql(fn: str, args):
         x = dbl(a)
 
         class _Neg:
-            k = f"(CASE WHEN {a.k} = {K_INT} THEN {K_INT} ELSE {K_DBL} END)"
+            k = (
+                f"(CASE WHEN {a.k} = {K_INT} THEN {K_INT} "
+                f"WHEN {a.k} = {K_DEC} THEN {K_DEC} ELSE {K_DBL} END)"
+            )
             i = f"(CASE WHEN {a.k} = {K_INT} THEN -{a.i} ELSE NULL END)"
             d = f"(CASE WHEN {a.k} = {K_INT} THEN NULL ELSE -{x} END)"
             s = "NULL"
@@ -666,10 +740,24 @@ def _map_fn_sql(fn: str, args):
     if fn == "is_node":
         return _bool_quad(f"{a.k} IN ({K_NODE}, {K_ATTR})")
     if fn == "is_numeric":
-        return _bool_quad(f"{a.k} IN ({K_INT}, {K_DBL})")
+        return _bool_quad(f"{a.k} IN ({K_INT}, {K_DBL}, {K_DEC})")
     if fn == "kind_code":
         # numeric output column expected; delivered as int item payload
         return _int_quad(a.k)
+    if fn == "atom_cls":
+        return _int_quad(
+            f"CASE WHEN {a.k} IN {_DV_NUMERIC_SQL} THEN 0 "
+            f"WHEN {a.k} IN {_DV_STRING_SQL} THEN 1 "
+            f"WHEN {a.k} = {K_BOOL} THEN 2 ELSE 3 END"
+        )
+    if fn == "atom_key":
+        # within-class canonical key; SQLite's dynamic typing lets one
+        # column hold REAL (numerics; NULL = NaN, and NULLs group
+        # together) or TEXT (strings) per row
+        return _int_quad(
+            f"CASE WHEN {a.k} IN {_DV_NUMERIC_SQL} THEN {dbl(a)} "
+            f"WHEN {a.k} IN {_DV_STRING_SQL} THEN {a.s} ELSE {a.i} END"
+        )
     if fn == "cast_dbl":
 
         class _CastD:
@@ -679,6 +767,15 @@ def _map_fn_sql(fn: str, args):
             s = "NULL"
 
         return _CastD()
+    if fn == "cast_dec":
+
+        class _CastDec:
+            k = str(K_DEC)
+            i = "NULL"
+            d = dbl(a)
+            s = "NULL"
+
+        return _CastDec()
     if fn == "cast_int":
         return _int_quad(f"CAST({dbl(a)} AS INTEGER)")
     if fn == "cast_str":

@@ -315,6 +315,61 @@ class InstanceOf(Expr):
     test: SeqTypeTest
 
 
+# --------------------------------------------------------------------------
+# XQuery Update Facility (the supported subset)
+# --------------------------------------------------------------------------
+@dataclass
+class InsertExpr(Expr):
+    """``insert node(s) Source (as first into | as last into | into |
+    before | after) Target``.
+
+    ``position`` is one of ``into``/``first``/``last``/``before``/
+    ``after`` (``into`` is the unordered form; this implementation
+    appends, like ``as last``).
+    """
+
+    source: Expr
+    position: str
+    target: Expr
+
+
+@dataclass
+class DeleteExpr(Expr):
+    """``delete node(s) Target`` — every target node is removed."""
+
+    target: Expr
+
+
+@dataclass
+class ReplaceExpr(Expr):
+    """``replace node Target with Source`` (the target node and its
+    subtree are replaced by a copy of the source sequence)."""
+
+    target: Expr
+    source: Expr
+
+
+@dataclass
+class ReplaceValueExpr(Expr):
+    """``replace value of node Target with Source`` — the target keeps
+    its identity/name but its string value becomes the source's."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class RenameExpr(Expr):
+    """``rename node Target as NameExpr`` (elements, attributes, PIs)."""
+
+    target: Expr
+    name: Expr
+
+
+#: the updating expression node types (XQUF "updating expression" test)
+UPDATE_NODES = (InsertExpr, DeleteExpr, ReplaceExpr, ReplaceValueExpr, RenameExpr)
+
+
 @dataclass
 class FunctionDecl:
     """``declare function name($p [as type], ...) [as type] { body }``."""

@@ -157,10 +157,30 @@ def _free_vars(e, bound: set[str], out: set[str]) -> None:
         return
     # generic fallback: walk the known child attributes
     for attr in ("lo", "hi", "cond", "then", "els", "lhs", "rhs", "operand",
-                 "name", "content", "value", "ret", "expr", "base"):
+                 "name", "content", "value", "ret", "expr", "base",
+                 "source", "target"):
         child = getattr(e, attr, None)
         if isinstance(child, ast.Expr):
             _free_vars(child, bound, out)
+
+
+def is_updating(expr: ast.Expr) -> bool:
+    """True when the expression is an *updating expression* (XQUF 2.2):
+    an update primitive, or a FLWOR / conditional / sequence / typeswitch
+    whose return branches are updating."""
+    if isinstance(expr, ast.UPDATE_NODES):
+        return True
+    if isinstance(expr, ast.Sequence):
+        return any(is_updating(i) for i in expr.items)
+    if isinstance(expr, ast.FLWOR):
+        return is_updating(expr.ret)
+    if isinstance(expr, ast.IfExpr):
+        return is_updating(expr.then) or is_updating(expr.els)
+    if isinstance(expr, ast.Typeswitch):
+        return any(is_updating(c.expr) for c in expr.cases) or is_updating(
+            expr.default
+        )
+    return False
 
 
 def desugar_module(module: ast.Module) -> ast.Module:
@@ -366,6 +386,26 @@ def _d_comp_text(e: ast.CompText):
     return ast.CompText(desugar(e.content))
 
 
+def _d_insert(e: ast.InsertExpr):
+    return ast.InsertExpr(desugar(e.source), e.position, desugar(e.target))
+
+
+def _d_delete(e: ast.DeleteExpr):
+    return ast.DeleteExpr(desugar(e.target))
+
+
+def _d_replace(e: ast.ReplaceExpr):
+    return ast.ReplaceExpr(desugar(e.target), desugar(e.source))
+
+
+def _d_replace_value(e: ast.ReplaceValueExpr):
+    return ast.ReplaceValueExpr(desugar(e.target), desugar(e.value))
+
+
+def _d_rename(e: ast.RenameExpr):
+    return ast.RenameExpr(desugar(e.target), desugar(e.name))
+
+
 def _d_cast(e: ast.CastExpr):
     return ast.CastExpr(desugar(e.operand), e.type_name)
 
@@ -402,4 +442,9 @@ _HANDLERS = {
     ast.CompText: _d_comp_text,
     ast.CastExpr: _d_cast,
     ast.InstanceOf: _d_instance,
+    ast.InsertExpr: _d_insert,
+    ast.DeleteExpr: _d_delete,
+    ast.ReplaceExpr: _d_replace,
+    ast.ReplaceValueExpr: _d_replace_value,
+    ast.RenameExpr: _d_rename,
 }

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import XQuerySyntaxError
+from repro.relational.items import XSDecimal
 from repro.xml.escape import resolve_entities
 
 #: multi-character symbols, longest first (order matters)
@@ -42,9 +43,11 @@ class Token:
     col: int
 
     def is_name(self, *names: str) -> bool:
+        """True when the token is a name, optionally one of ``names``."""
         return self.type == "name" and self.value in names
 
     def is_symbol(self, *symbols: str) -> bool:
+        """True when the token is a symbol, optionally one of ``symbols``."""
         return self.type == "symbol" and self.value in symbols
 
 
@@ -58,20 +61,24 @@ class Lexer:
 
     # ------------------------------------------------------------- errors
     def line_col(self, pos: int) -> tuple[int, int]:
+        """1-based (line, column) of a source position."""
         upto = self.text[:pos]
         return upto.count("\n") + 1, pos - (upto.rfind("\n") + 1) + 1
 
     def error(self, message: str, pos: int | None = None) -> XQuerySyntaxError:
+        """Build a positioned syntax error (the caller raises it)."""
         line, col = self.line_col(self.pos if pos is None else pos)
         return XQuerySyntaxError(message, line, col)
 
     # ------------------------------------------------------- token access
     def peek(self, k: int = 0) -> Token:
+        """The k-th upcoming token without consuming anything."""
         while len(self._buffer) <= k:
             self._buffer.append(self._scan())
         return self._buffer[k]
 
     def next(self) -> Token:
+        """Consume and return the next token."""
         token = self.peek()
         self._buffer.pop(0)
         return token
@@ -94,6 +101,7 @@ class Lexer:
         self.pos = pos
 
     def raw(self) -> str:
+        """The full source text (for character-mode parsing)."""
         return self.text
 
     # ------------------------------------------------------------ scanning
@@ -171,8 +179,12 @@ class Lexer:
                     p += 1
         self.pos = p
         raw = text[start:p]
-        if is_double or is_decimal:
-            return Token("double" if is_double else "decimal", float(raw), start, line, col)
+        if is_double:
+            return Token("double", float(raw), start, line, col)
+        if is_decimal:
+            # decimal literals keep their static type: exact numerics
+            # divide by zero with err:FOAR0001, doubles yield INF/NaN
+            return Token("decimal", XSDecimal(raw), start, line, col)
         return Token("integer", int(raw), start, line, col)
 
     def _scan_string(self, start: int, line: int, col: int) -> Token:

@@ -188,7 +188,63 @@ class _Parser:
                 return self._parse_if()
             if tok.value == "typeswitch" and nxt.is_symbol("("):
                 return self._parse_typeswitch()
+            # XQuery Update Facility expressions; the two-name lookahead
+            # keeps plain paths over elements named insert/delete/... valid
+            if tok.value == "insert" and nxt.is_name("node", "nodes"):
+                return self._parse_insert()
+            if tok.value == "delete" and nxt.is_name("node", "nodes"):
+                return self._parse_delete()
+            if tok.value == "replace" and (
+                nxt.is_name("node")
+                or (nxt.is_name("value") and self.peek(2).is_name("of"))
+            ):
+                return self._parse_replace()
+            if tok.value == "rename" and nxt.is_name("node"):
+                return self._parse_rename()
         return self.parse_or()
+
+    # ------------------------------------------------- update expressions
+    def _parse_insert(self) -> ast.InsertExpr:
+        self.next(), self.next()  # insert node|nodes
+        source = self.parse_expr_single()
+        if self.accept_name("as"):
+            position = self.expect_name("first", "last").value
+            self.expect_name("into")
+        elif self.accept_name("into"):
+            position = "into"
+        elif self.accept_name("before"):
+            position = "before"
+        elif self.accept_name("after"):
+            position = "after"
+        else:
+            raise self.error(
+                "expected 'into', 'as first into', 'as last into', "
+                "'before' or 'after' in insert expression"
+            )
+        return ast.InsertExpr(source, position, self.parse_expr_single())
+
+    def _parse_delete(self) -> ast.DeleteExpr:
+        self.next(), self.next()  # delete node|nodes
+        return ast.DeleteExpr(self.parse_expr_single())
+
+    def _parse_replace(self) -> ast.Expr:
+        self.next()  # replace
+        value_of = self.accept_name("value")
+        if value_of:
+            self.expect_name("of")
+        self.expect_name("node")
+        target = self.parse_expr_single()
+        self.expect_name("with")
+        source = self.parse_expr_single()
+        if value_of:
+            return ast.ReplaceValueExpr(target, source)
+        return ast.ReplaceExpr(target, source)
+
+    def _parse_rename(self) -> ast.RenameExpr:
+        self.next(), self.next()  # rename node
+        target = self.parse_expr_single()
+        self.expect_name("as")
+        return ast.RenameExpr(target, self.parse_expr_single())
 
     def _parse_flwor(self) -> ast.FLWOR:
         clauses: list[object] = []

@@ -35,8 +35,13 @@ class TestBasics:
         assert run_baseline(engine, '<a v="{1+1}">{ "t" }</a>') == '<a v="2">t</a>'
 
     def test_typeswitch(self, engine):
-        query = 'typeswitch (2.5) case xs:double return "d" default return "x"'
+        query = 'typeswitch (2.5e0) case xs:double return "d" default return "x"'
         assert run_baseline(engine, query) == "d"
+
+    def test_typeswitch_decimal(self, engine):
+        # a decimal literal is xs:decimal, not xs:double
+        query = 'typeswitch (2.5) case xs:double return "d" case xs:decimal return "c" default return "x"'
+        assert run_baseline(engine, query) == "c"
 
     def test_undefined_variable(self, engine):
         with pytest.raises(StaticError):

@@ -102,9 +102,17 @@ class TestDynamicErrors:
         baseline_raises(engine, "(1, 2)/a", DynamicError)
 
     def test_double_div_by_zero_is_inf_not_error(self, engine):
-        assert engine.execute("1 div 0").serialize() == "INF"
-        assert engine.execute("-1 div 0").serialize() == "-INF"
-        assert engine.execute("0 div 0").serialize() == "NaN"
+        # only xs:double division may yield INF/NaN (F&O 6.2.4)
+        assert engine.execute("1e0 div 0e0").serialize() == "INF"
+        assert engine.execute("-1e0 div 0e0").serialize() == "-INF"
+        assert engine.execute("0e0 div 0e0").serialize() == "NaN"
+
+    def test_exact_numeric_div_by_zero_foar0001(self, engine):
+        for query in ("1 div 0", "1.0 div 0.0", "1.0 div 0"):
+            with pytest.raises(DynamicError) as exc:
+                engine.execute(query)
+            assert exc.value.code == "err:FOAR0001"
+            baseline_raises(engine, query, DynamicError)
 
 
 class TestNotSupported:

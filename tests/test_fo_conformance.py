@@ -1,0 +1,257 @@
+"""F&O conformance edge cases, run differentially against the baseline.
+
+Each case in :data:`AGREE_CASES` must produce identical serialized output
+on the loop-lifting/numpy engine and the nested-loop interpreter; the
+error classes assert the W3C error *codes* on both engines.  The suite
+pins the four conformance fixes of the update-facility PR — substring
+over NaN/±INF, exact-numeric division by zero, string min/max + sum type
+errors, and value-equality distinct-values — plus the adjacent edges
+(substring negative length, round half-up on negatives, mod sign).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PathfinderEngine
+from repro.errors import DynamicError
+from repro.xquery.core import desugar_module
+from repro.xquery.parser import parse_query
+
+from tests.conftest import run_baseline, run_pf
+
+
+@pytest.fixture
+def engine():
+    e = PathfinderEngine()
+    e.load_document(
+        "doc.xml", "<r><n>1</n><n>2.5</n><s>beta</s><s>alpha</s></r>"
+    )
+    return e
+
+
+def both_raise(engine, query, code):
+    """Both engines must raise a DynamicError carrying ``code``."""
+    with pytest.raises(DynamicError) as exc:
+        engine.execute(query)
+    assert exc.value.code == code
+    from repro.baseline.interpreter import Interpreter
+
+    interp = Interpreter(engine.arena, engine.documents, engine.default_document)
+    module = desugar_module(parse_query(query))
+    with pytest.raises(DynamicError) as exc:
+        interp.execute(module)
+    assert exc.value.code == code
+
+
+# ---------------------------------------------------------------- agreement
+AGREE_CASES = [
+    # fn:substring over NaN / infinity (spec: comparisons with NaN are
+    # false, so the result is the empty string — never a crash)
+    'substring("hello", 0 div 0e0)',
+    'substring("hello", 1, 0 div 0e0)',
+    'substring("hello", 0e0 div 0e0, 3)',
+    'substring("hello", -1e0 div 0e0)',
+    'substring("hello", 1e0 div 0e0)',
+    'substring("hello", -1e0 div 0e0, 1e0 div 0e0)',
+    'substring("hello", 2, 1e0 div 0e0)',
+    # substring rounding and negative start/length
+    'substring("hello", 2, 3)',
+    'substring("hello", 1.5, 2.6)',
+    'substring("hello", 0, 3)',
+    'substring("hello", -42)',
+    'substring("hello", 2, -1)',
+    'substring("hello", 5, 10)',
+    'substring("", 1, 1)',
+    # double division stays INF/NaN
+    "1e0 div 0e0",
+    "-1e0 div 0e0",
+    "0e0 div 0e0",
+    "1.5 + 2e0",  # decimal + double promotes to double
+    # decimal arithmetic stays exact but prints the same
+    "1.5 + 1.5",
+    "1 div 2",
+    "7.5 div 2.5",
+    # string min/max
+    'min(("b", "a"))',
+    'max(("b", "a"))',
+    'min(("beta", "alpha", "gamma"))',
+    "min(/r/s)",  # untyped content casts to double -> NaN semantics aside,
+    # both engines agree on the serialized outcome
+    # numeric aggregates over untyped node content
+    "sum(/r/n)",
+    "max(/r/n)",
+    # distinct-values value equality
+    'count(distinct-values((1, 1.0, "1")))',
+    'count(distinct-values((1, 1e0, 1.0)))',
+    'count(distinct-values((1, 2, 1.0, 3e0, 3)))',
+    'count(distinct-values(("a", "a", "b")))',
+    'count(distinct-values((true(), 1)))',
+    'count(distinct-values((0 div 0e0, 0e0 div 0e0)))',
+    'string-join(for $v in distinct-values((2, 1.0, 2.0, "2")) return string($v), "|")',
+    # round half toward +INF, also on negatives
+    "round(2.5)",
+    "round(-2.5)",
+    "round(2.4999)",
+    "round(-2.5e0)",
+    "round(-0.5)",
+    "floor(-2.5)",
+    "ceiling(-2.5)",
+    "abs(-2.5)",
+    # mod sign follows the dividend (fmod semantics)
+    "5 mod 3",
+    "-5 mod 3",
+    "5 mod -3",
+    "-5 mod -3",
+    "5.5 mod 2",
+    "-5.5e0 mod 2",
+    "1e0 mod 0e0",
+    # idiv truncates toward zero
+    "7 idiv 2",
+    "-7 idiv 2",
+    "7 idiv -2",
+    # typing of literals
+    "2.5 instance of xs:decimal",
+    "2.5 instance of xs:double",
+    "2.5e0 instance of xs:double",
+    "(1 div 2) instance of xs:decimal",
+    "1.5 cast as xs:decimal instance of xs:decimal",
+    "1.5 cast as xs:double instance of xs:double",
+]
+
+
+@pytest.mark.parametrize(
+    "query", AGREE_CASES, ids=[f"fo{i}" for i in range(len(AGREE_CASES))]
+)
+def test_engines_agree(engine, query):
+    assert run_pf(engine, query) == run_baseline(engine, query)
+
+
+# ------------------------------------------------------------ fixed values
+class TestSubstring:
+    def test_nan_start_is_empty(self, engine):
+        assert run_pf(engine, 'substring("hello", 0 div 0e0)') == ""
+
+    def test_nan_length_is_empty(self, engine):
+        assert run_pf(engine, 'substring("hello", 1, 0 div 0e0)') == ""
+
+    def test_negative_start_clamps(self, engine):
+        assert run_pf(engine, 'substring("hello", -42)') == "hello"
+
+    def test_negative_length_is_empty(self, engine):
+        assert run_pf(engine, 'substring("hello", 2, -1)') == ""
+
+    def test_spec_examples(self, engine):
+        # the F&O 7.4.3 examples
+        assert run_pf(engine, 'substring("motor car", 6)') == " car"
+        assert run_pf(engine, 'substring("metadata", 4, 3)') == "ada"
+        assert run_pf(engine, 'substring("12345", 1.5, 2.6)') == "234"
+        assert run_pf(engine, 'substring("12345", 0, 3)') == "12"
+        assert run_pf(engine, 'substring("12345", -3, 5)') == "1"
+
+
+class TestDivisionByZero:
+    def test_integer_div_raises(self, engine):
+        both_raise(engine, "1 div 0", "err:FOAR0001")
+
+    def test_decimal_div_raises(self, engine):
+        both_raise(engine, "1.0 div 0.0", "err:FOAR0001")
+
+    def test_mixed_exact_div_raises(self, engine):
+        both_raise(engine, "1.0 div 0", "err:FOAR0001")
+
+    def test_nested_decimal_result_raises(self, engine):
+        both_raise(engine, "(1 div 2) div 0", "err:FOAR0001")
+
+    def test_integer_mod_zero_raises(self, engine):
+        both_raise(engine, "1 mod 0", "err:FOAR0001")
+
+    def test_double_div_is_inf(self, engine):
+        assert run_pf(engine, "1e0 div 0e0") == "INF"
+        assert run_pf(engine, "0e0 div 0e0") == "NaN"
+
+    def test_untyped_divides_as_double(self, engine):
+        # untypedAtomic casts to xs:double, so INF is allowed
+        assert run_pf(engine, "/r/n[1] div 0") == "INF"
+
+
+class TestAggregates:
+    def test_min_strings(self, engine):
+        assert run_pf(engine, 'min(("b", "a"))') == "a"
+
+    def test_max_strings(self, engine):
+        assert run_pf(engine, 'max(("b", "a"))') == "b"
+
+    def test_min_mixed_raises(self, engine):
+        both_raise(engine, 'min((2, "a"))', "err:FORG0006")
+
+    def test_sum_strings_raises(self, engine):
+        both_raise(engine, 'sum(("a", "b"))', "err:FORG0006")
+
+    def test_avg_strings_raises(self, engine):
+        both_raise(engine, 'avg(("a", "b"))', "err:FORG0006")
+
+    def test_sum_empty_still_zero(self, engine):
+        assert run_pf(engine, "sum(())") == "0"
+
+    def test_min_grouped_strings(self, engine):
+        # the loop-lifted (grouped) aggregate path, not just the global one
+        out = run_pf(
+            engine, 'for $i in (1, 2) return min(("b", "a", string($i)))'
+        )
+        assert out == run_baseline(
+            engine, 'for $i in (1, 2) return min(("b", "a", string($i)))'
+        )
+
+    def test_min_string_and_numeric_groups_coexist(self, engine):
+        # the type check is per group: one all-string group must not
+        # poison a numeric group of the same lifted aggregate
+        q = 'for $i in (1, 2) return min(if ($i = 1) then ("b", "a") else (3, 2))'
+        assert run_pf(engine, q) == "a 2"
+        assert run_baseline(engine, q) == "a 2"
+
+
+class TestSQLHost:
+    """The SQLite back-end must share the conformance semantics (or fall
+    back) — never silently return a different answer."""
+
+    @pytest.fixture
+    def sqlhost(self, engine):
+        import repro
+
+        return repro.connect(database=engine.database, backend="sqlhost")
+
+    def test_string_min_max(self, sqlhost):
+        assert sqlhost.execute('min(("b", "a"))').serialize() == "a"
+        assert sqlhost.execute('max(("b", "a"))').serialize() == "b"
+
+    def test_sum_strings_raises(self, sqlhost):
+        with pytest.raises(DynamicError) as exc:
+            sqlhost.execute('sum(("a", "b"))').serialize()
+        assert exc.value.code == "err:FORG0006"
+
+    def test_exact_div_by_zero_raises(self, sqlhost):
+        for query in ("1 div 0", "1.0 div 0.0", "1 idiv 0", "1 mod 0"):
+            with pytest.raises(DynamicError) as exc:
+                sqlhost.execute(query).serialize()
+            assert exc.value.code == "err:FOAR0001"
+
+    def test_decimal_typing(self, sqlhost):
+        assert sqlhost.execute("(1.0 div 2) instance of xs:decimal").serialize() == "true"
+
+    def test_substring_nan(self, sqlhost):
+        assert sqlhost.execute('substring("hello", 0 div 0e0)').serialize() == ""
+
+
+class TestDistinctValues:
+    def test_numeric_promotion(self, engine):
+        assert run_pf(engine, 'count(distinct-values((1, 1.0, "1")))') == "2"
+
+    def test_first_occurrence_wins(self, engine):
+        assert run_pf(engine, "distinct-values((1, 1.0, 2))") == "1 2"
+
+    def test_nan_equals_nan(self, engine):
+        assert run_pf(engine, "count(distinct-values((0e0 div 0e0, 0 div 0e0)))") == "1"
+
+    def test_boolean_not_numeric(self, engine):
+        assert run_pf(engine, "count(distinct-values((true(), 1)))") == "2"

@@ -23,7 +23,7 @@ class TestAtomicSerialization:
         assert engine.execute("(true(), false())").serialize() == "true false"
 
     def test_doubles(self, engine):
-        assert engine.execute("(1.5, 2e3, 1 div 0)").serialize() == "1.5 2000 INF"
+        assert engine.execute("(1.5, 2e3, 1e0 div 0e0)").serialize() == "1.5 2000 INF"
 
     def test_strings_escaped(self, engine):
         # XQuery string literals use entity refs for markup characters
@@ -60,8 +60,12 @@ class TestNodeSerialization:
 
 class TestValuesAPI:
     def test_scalar_types_preserved(self, engine):
-        vals = engine.execute("(1, 1.5, 'x', true())").values()
-        assert [type(v).__name__ for v in vals] == ["int", "float", "str", "bool"]
+        # 1.5 is xs:decimal — decoded as XSDecimal, a float subclass
+        vals = engine.execute("(1, 1.5, 2e0, 'x', true())").values()
+        assert [type(v).__name__ for v in vals] == [
+            "int", "XSDecimal", "float", "str", "bool",
+        ]
+        assert all(isinstance(v, float) for v in vals[1:3])
 
     def test_sequence_is_in_order(self, engine):
         vals = engine.execute("for $i in (3, 1, 2) order by $i return $i").values()

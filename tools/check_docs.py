@@ -8,9 +8,10 @@ suite (``tests/test_docs.py``):
   bare ``http(s)`` links are not fetched.
 * **docstring check** — every public module, class, top-level function
   and public method under the packages in :data:`DOCSTRING_ROOTS`
-  (the relational, api, encoding, sqlhost and server layers) must carry
-  a docstring.  This mirrors ruff's pydocstyle D100–D103 presence
-  rules, which the CI docs job also runs over the same directories.
+  (the relational, api, encoding, sqlhost, server, compiler and xquery
+  layers) must carry a docstring.  This mirrors ruff's pydocstyle
+  D100–D103 presence rules, which the CI docs job also runs over the
+  same directories.
 
 Usage::
 
@@ -32,6 +33,7 @@ DOC_FILES = (
     "docs/ARCHITECTURE.md",
     "docs/algebra.md",
     "docs/serving.md",
+    "docs/updates.md",
 )
 
 #: package subtrees held to the public-docstring standard
@@ -41,6 +43,8 @@ DOCSTRING_ROOTS = (
     "src/repro/encoding",
     "src/repro/sqlhost",
     "src/repro/server",
+    "src/repro/compiler",
+    "src/repro/xquery",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
