@@ -1,0 +1,145 @@
+"""Document I/O fast path: scan serializer, streaming shredder, chunking.
+
+Both ends of the engine — the shredder (entry) and the serializing
+post-processor (exit) — are vectorised scans over the pre/size/level
+tables.  This benchmark measures the three claims:
+
+* **serialize**: whole-document serialization via the scan serializer
+  versus the node-at-a-time recursive oracle (expect ≥10×: the recursive
+  path pays a one-element numpy ``children_ranges``/``attr_ranges`` call
+  per node, the scan pays one slice + two binary searches per subtree);
+* **shred**: document load through the streaming event parser (no DOM)
+  versus parse-then-walk (``parse_document`` + ``shred_tree``);
+* **stream**: chunked result streaming (``QueryResult.iter_serialized``)
+  versus buffered serialization of a whole-document query result.
+
+Timings (best of ``reps``) are printed as a table and written to
+``BENCH_serialize.json`` so the perf trajectory is tracked across PRs.
+
+Run:  python benchmarks/bench_serialize.py [scale [reps [json_path]]]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro import PathfinderEngine
+from repro.encoding.arena import NodeArena
+from repro.encoding.shred import shred_text, shred_tree
+from repro.xmark import generate_document
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize_node, serialize_node_recursive
+
+DEFAULT_SCALE = 0.002
+DEFAULT_REPS = 3
+DEFAULT_JSON = "BENCH_serialize.json"
+
+
+def _best(fn, reps: int) -> tuple[float, object]:
+    """Best-of-``reps`` wall-clock timing; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_serialize_bench(
+    scale: float = DEFAULT_SCALE, reps: int = DEFAULT_REPS
+) -> dict:
+    """All three measurements on one XMark instance; returns the JSON row."""
+    text = generate_document(scale)
+    engine = PathfinderEngine()
+    nodes = engine.load_document("auction.xml", text)
+    doc = engine.documents["auction.xml"]
+    arena = engine.arena
+    serialize_node(arena, doc)  # warm the navigation indices for both
+
+    scan_s, scan_out = _best(lambda: serialize_node(arena, doc), reps)
+    recursive_s, recursive_out = _best(
+        lambda: serialize_node_recursive(arena, doc), reps
+    )
+    assert scan_out == recursive_out, "scan and recursive serializers diverged"
+
+    stream_shred_s, _ = _best(lambda: shred_text(NodeArena(), text), reps)
+    dom_shred_s, _ = _best(
+        lambda: shred_tree(NodeArena(), parse_document(text)), reps
+    )
+
+    result = engine.session.execute('doc("auction.xml")')
+    chunked_s, chunks = _best(
+        lambda: sum(1 for _ in result.iter_serialized()), reps
+    )
+
+    return {
+        "scale": scale,
+        "nodes": nodes,
+        "xml_bytes": len(text.encode("utf-8")),
+        "serialize_scan_s": scan_s,
+        "serialize_recursive_s": recursive_s,
+        "serialize_speedup": recursive_s / max(scan_s, 1e-9),
+        "shred_stream_s": stream_shred_s,
+        "shred_dom_s": dom_shred_s,
+        "shred_speedup": dom_shred_s / max(stream_shred_s, 1e-9),
+        "stream_chunks": chunks,
+        "stream_s": chunked_s,
+    }
+
+
+def report_serialize(
+    scale: float = DEFAULT_SCALE,
+    reps: int = DEFAULT_REPS,
+    json_path: str | None = DEFAULT_JSON,
+) -> dict:
+    """Print the document-I/O table and (optionally) emit the JSON row."""
+    print("\n=== document I/O: scan serializer / streaming shredder ===")
+    print(f"(XMark scale {scale}, best of {reps})")
+    row = run_serialize_bench(scale=scale, reps=reps)
+    print(
+        f"{'stage':>22} | {'vectorised s':>12} | {'node-walk s':>12} | {'speedup':>8}"
+    )
+    print(
+        f"{'serialize (doc)':>22} | {row['serialize_scan_s']:>12.4f} "
+        f"| {row['serialize_recursive_s']:>12.4f} "
+        f"| {row['serialize_speedup']:>7.1f}x"
+    )
+    print(
+        f"{'shred (PUT path)':>22} | {row['shred_stream_s']:>12.4f} "
+        f"| {row['shred_dom_s']:>12.4f} | {row['shred_speedup']:>7.1f}x"
+    )
+    print(
+        f"{'chunked result stream':>22} | {row['stream_s']:>12.4f} "
+        f"| {'-':>12} | {row['stream_chunks']:>6} chunks"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {json_path}")
+    return row
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[1]) if len(argv) > 1 else DEFAULT_SCALE
+    reps = int(argv[2]) if len(argv) > 2 else DEFAULT_REPS
+    json_path = argv[3] if len(argv) > 3 else DEFAULT_JSON
+    row = report_serialize(scale=scale, reps=reps, json_path=json_path)
+    # the tentpole claim, checked on every run so CI smoke catches decay
+    if row["serialize_speedup"] < 5.0:
+        print(
+            f"WARNING: serialize speedup {row['serialize_speedup']:.1f}x "
+            "dropped below 5x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -12,6 +12,7 @@ Usage::
     python benchmarks/report.py prepared   # plan-cache amortization
     python benchmarks/report.py serve      # HTTP serving throughput sweep
     python benchmarks/report.py updates    # update latency vs re-shredding
+    python benchmarks/report.py serialize  # document I/O fast path
     python benchmarks/report.py all
 """
 
@@ -238,6 +239,12 @@ def report_updates():
     run()
 
 
+def report_serialize():
+    from benchmarks.bench_serialize import report_serialize as run
+
+    run()
+
+
 REPORTS = {
     "table3": report_table3,
     "figure4": report_figure4,
@@ -250,6 +257,7 @@ REPORTS = {
     "prepared": report_prepared,
     "serve": report_serve,
     "updates": report_updates,
+    "serialize": report_serialize,
 }
 
 

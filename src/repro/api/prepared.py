@@ -5,15 +5,20 @@ execute many times.  Each execution resolves the query's external
 variables (``declare variable $x external``) from the merge of the
 session's variables and the per-call bindings, evaluates the shared
 plan DAG and wraps the result table in a :class:`QueryResult` that
-serialises on demand and supports the iterator protocol for streaming
-large sequences value by value.
+serialises on demand, streams the text form in bounded chunks
+(:meth:`QueryResult.iter_serialized`) and supports the iterator protocol
+for streaming large sequences value by value.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.compiler.serialize import iter_result_values, serialize_result
+from repro.compiler.serialize import (
+    DEFAULT_CHUNK_CHARS,
+    iter_result_values,
+    iter_serialized_chunks,
+)
 from repro.errors import NotSupportedError
 from repro.relational.evaluate import EvalContext, evaluate
 
@@ -48,8 +53,25 @@ class QueryResult:
     def serialize(self) -> str:
         """Result sequence as XML/text (the paper's post-processor)."""
         if self._serialized is None:
-            self._serialized = serialize_result(self.table, self.arena)
+            self._serialized = "".join(self.iter_serialized())
         return self._serialized
+
+    def iter_serialized(self, chunk_chars: int = DEFAULT_CHUNK_CHARS):
+        """Stream the serialized result in bounded-size text chunks.
+
+        The chunks concatenate to exactly :meth:`serialize`'s output but
+        the full string is never assembled — this is what the HTTP
+        layer's chunked ``/query`` responses iterate.  When
+        :meth:`serialize` already ran (and cached), its string is yielded
+        whole rather than re-serialised.
+        """
+        if self._serialized is not None:
+            if self._serialized:
+                yield self._serialized
+            return
+        yield from iter_serialized_chunks(
+            self.table, self.arena, chunk_chars=chunk_chars
+        )
 
     def values(self) -> list:
         """Result sequence as Python values (nodes become NodeHandles)."""

@@ -118,7 +118,13 @@ class Session:
         return PreparedQuery(self, entry, from_cache=hit)
 
     def execute(self, query: str, bindings: dict | None = None, trace: bool = False):
-        """One-shot convenience: prepare (cache-backed) and execute."""
+        """One-shot convenience: prepare (cache-backed) and execute.
+
+        The returned :class:`~repro.api.prepared.QueryResult` serialises
+        lazily — call ``result.serialize()`` for the buffered text or
+        ``result.iter_serialized()`` to stream it in bounded chunks (the
+        HTTP server's chunked ``/query`` path).
+        """
         return self.prepare(query).execute(bindings, trace=trace)
 
     def execute_update(

@@ -5,6 +5,13 @@ The paper's "simple post-processor": the top-level result table (scope
 serialised as markup, atomic items by their lexical form with
 single-space separators between adjacent atomics (the W3C serialization
 rule).
+
+The text form is produced **streaming**: :func:`iter_serialized_chunks`
+yields bounded-size chunks (node markup comes from the scan serializer's
+part list, pooled atomics are batch-decoded with ``StringPool.values``),
+so a multi-megabyte result never has to exist as one Python string —
+:func:`serialize_result` is simply the join of the chunks, and the HTTP
+layer forwards them as chunked transfer encoding.
 """
 
 from __future__ import annotations
@@ -16,7 +23,10 @@ from repro.relational import items as it
 from repro.relational.items import ItemColumn, K_ATTR, K_NODE
 from repro.relational.table import Table
 from repro.xml.escape import escape_text
-from repro.xml.serializer import serialize_attribute, serialize_node
+from repro.xml.serializer import scan_parts, serialize_attribute, serialize_node
+
+#: target characters per chunk yielded by :func:`iter_serialized_chunks`
+DEFAULT_CHUNK_CHARS = 64 * 1024
 
 
 class NodeHandle:
@@ -53,19 +63,34 @@ def ordered_items(table: Table) -> ItemColumn:
     return table.item("item").take(order)
 
 
+#: items decoded per batch by :func:`iter_result_values` — large enough
+#: to amortise the ``StringPool.values`` call, small enough that a
+#: consumer stopping early never pays for the whole column
+_VALUE_BLOCK = 1024
+
+
 def iter_result_values(table: Table, arena: NodeArena):
     """Yield the result as Python values in sequence order (nodes become
     NodeHandles) — the streaming core behind ``result_values`` and the
-    ``QueryResult`` iterator protocol."""
+    ``QueryResult`` iterator protocol.  Pooled strings are decoded with
+    blockwise ``StringPool.values`` batches instead of per-item
+    ``pool.value`` calls, so iteration stays lazy (a consumer that stops
+    after a few items decodes at most one block)."""
     items = ordered_items(table)
-    for kind, payload in zip(items.kinds, items.data):
-        kind, payload = int(kind), int(payload)
-        if kind == K_NODE:
-            yield NodeHandle(arena, payload)
-        elif kind == K_ATTR:
-            yield NodeHandle(arena, payload, is_attribute=True)
-        else:
-            yield it.decode_item(kind, payload, arena.pool)
+    pool = arena.pool
+    for lo in range(0, len(items), _VALUE_BLOCK):
+        kinds = items.kinds[lo : lo + _VALUE_BLOCK]
+        data = items.data[lo : lo + _VALUE_BLOCK]
+        pooled, strings = it.pooled_strings(kinds, data, pool)
+        for kind, payload, is_pooled in zip(kinds.tolist(), data.tolist(), pooled):
+            if kind == K_NODE:
+                yield NodeHandle(arena, payload)
+            elif kind == K_ATTR:
+                yield NodeHandle(arena, payload, is_attribute=True)
+            elif is_pooled:
+                yield next(strings)
+            else:
+                yield it.decode_item(kind, payload, pool)
 
 
 def result_values(table: Table, arena: NodeArena) -> list:
@@ -73,25 +98,51 @@ def result_values(table: Table, arena: NodeArena) -> list:
     return list(iter_result_values(table, arena))
 
 
-def serialize_result(table: Table, arena: NodeArena) -> str:
-    """Serialise the result sequence to text (nodes as XML markup, atomics
-    space-separated)."""
+def iter_serialized_chunks(
+    table: Table, arena: NodeArena, chunk_chars: int = DEFAULT_CHUNK_CHARS
+):
+    """Yield the serialized result sequence in bounded-size chunks.
+
+    Chunks are plain ``str`` pieces whose concatenation is exactly
+    :func:`serialize_result`'s output; each is at least ``chunk_chars``
+    characters except the last, so downstream writers (chunked HTTP)
+    get usefully-sized writes without the full text ever being
+    assembled.  Node items stream through the scan serializer's part
+    list; pooled atomics are batch-decoded once.
+    """
     items = ordered_items(table)
     pool = arena.pool
-    parts: list[str] = []
+    pooled, strings = it.pooled_strings(items.kinds, items.data, pool)
+    buf: list[str] = []
+    buf_len = 0
     prev_atomic = False
-    for kind, payload in zip(items.kinds, items.data):
-        kind, payload = int(kind), int(payload)
+    for kind, payload, is_pooled in zip(
+        items.kinds.tolist(), items.data.tolist(), pooled
+    ):
         if kind == K_NODE:
-            parts.append(serialize_node(arena, payload))
+            parts = scan_parts(arena, payload)
             prev_atomic = False
         elif kind == K_ATTR:
-            parts.append(serialize_attribute(arena, payload))
+            parts = [serialize_attribute(arena, payload)]
             prev_atomic = False
         else:
-            text = escape_text(it.lexical(kind, payload, pool))
+            text = next(strings) if is_pooled else it.lexical(kind, payload, pool)
+            parts = [escape_text(text)]
             if prev_atomic:
-                parts.append(" ")
-            parts.append(text)
+                parts.insert(0, " ")
             prev_atomic = True
-    return "".join(parts)
+        for part in parts:
+            buf.append(part)
+            buf_len += len(part)
+            if buf_len >= chunk_chars:
+                yield "".join(buf)
+                buf.clear()
+                buf_len = 0
+    if buf:
+        yield "".join(buf)
+
+
+def serialize_result(table: Table, arena: NodeArena) -> str:
+    """Serialise the result sequence to text (nodes as XML markup, atomics
+    space-separated) — the buffered form of the chunk stream."""
+    return "".join(iter_serialized_chunks(table, arena))

@@ -343,6 +343,26 @@ class NodeArena:
         hi = np.searchsorted(attr_owners_sorted, nodes, side="right")
         return attr_order, lo, hi
 
+    def attrs_in_span(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """All attributes owned by rows ``start .. stop-1``, batched.
+
+        Returns ``(ids, counts)``: ``ids`` are attribute ids grouped by
+        owner in ascending row order (within one owner, append == document
+        order) and ``counts[i]`` is how many of them row ``start+i`` owns.
+        Because pre-order subtrees are contiguous row ranges, this fetches
+        the attributes of a whole subtree with two binary searches — the
+        scan serializer's replacement for a per-node :meth:`attr_ranges`
+        call.
+        """
+        _, _, _, attr_order, attr_owners_sorted, _ = self._refresh_indices()
+        lo = int(np.searchsorted(attr_owners_sorted, start, side="left"))
+        hi = int(np.searchsorted(attr_owners_sorted, stop, side="left"))
+        ids = attr_order[lo:hi]
+        counts = np.bincount(
+            attr_owners_sorted[lo:hi] - start, minlength=stop - start
+        )
+        return ids, counts
+
     def text_rows(self) -> np.ndarray:
         """All text-node rows, ascending (== document order)."""
         return self._refresh_indices()[5]

@@ -12,7 +12,8 @@ Endpoints (all JSON unless noted):
 method   path                   behaviour
 =======  =====================  ===========================================
 POST     ``/query``             ``{"query": ..., "bindings": {...},
-                                "deadline": secs}`` → serialized result
+                                "deadline": secs}`` → serialized result,
+                                streamed as a chunked-transfer response
 POST     ``/update``            same body shape, updating query →
                                 applied-primitive counts + new epochs
 GET      ``/explain``           ``?q=<query>`` → plan stages + pass stats
@@ -202,9 +203,43 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
         return query, bindings, body.get("deadline")
 
     def _query(self) -> None:
+        """``POST /query`` with a chunked-transfer response.
+
+        The worker pool compiles and executes under the deadline
+        discipline, then the serialized result streams straight from the
+        arena scan onto the socket — the response body is built chunk by
+        chunk, byte-identical to ``json.dumps`` of the buffered payload,
+        but no in-flight request ever assembles a multi-MB result string.
+        """
         query, bindings, deadline = self._query_body()
-        payload = self.service.execute(query, bindings, deadline=deadline)
-        self._send_json(200, payload)
+        meta, chunks = self.service.execute_stream(query, bindings, deadline=deadline)
+        # pull the first chunk before committing to a 200: a budget spent
+        # by the time serialization starts (or an immediate serialization
+        # failure) still gets a proper 504/500 status line, so only a
+        # genuinely mid-stream failure ever truncates a response
+        chunks = iter(chunks)
+        first = next(chunks, None)
+        self._response_started = True
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        write = self.wfile.write
+
+        def send_chunk(data: bytes) -> None:
+            if data:  # a zero-length chunk would terminate the stream
+                write(b"%X\r\n%s\r\n" % (len(data), data))
+
+        # json.dumps escapes characterwise, so escaping each chunk
+        # separately concatenates to exactly the buffered encoding
+        send_chunk(b'{"result": "')
+        if first is not None:
+            send_chunk(json.dumps(first)[1:-1].encode("utf-8"))
+        for chunk in chunks:
+            send_chunk(json.dumps(chunk)[1:-1].encode("utf-8"))
+        tail = '", ' + json.dumps(meta)[1:]
+        send_chunk(tail.encode("utf-8"))
+        write(b"0\r\n\r\n")
 
     def _update(self) -> None:
         query, bindings, deadline = self._query_body()

@@ -188,7 +188,37 @@ class QueryService:
         """Compile (cache-backed) and execute one query on the pool.
 
         Returns a JSON-ready payload with the serialized result and the
-        execution metadata the ``/query`` endpoint exposes.
+        execution metadata the ``/query`` endpoint exposes.  The HTTP
+        layer prefers :meth:`execute_stream`, which defers serialization
+        so the result text never exists as one string.
+        """
+        meta, chunks = self.execute_stream(query, bindings, deadline=deadline)
+        return {"result": "".join(chunks), **meta}
+
+    def execute_stream(
+        self,
+        query: str,
+        bindings: dict | None = None,
+        deadline: float | None = None,
+    ) -> tuple[dict, object]:
+        """Execute one query, deferring serialization to the caller.
+
+        Returns ``(meta, chunks)``: ``meta`` is the ``/query`` payload
+        *without* its ``"result"`` field, ``chunks`` an iterator of
+        serialized text pieces (:meth:`QueryResult.iter_serialized`).
+        Compile + execute run on the worker pool under the usual
+        deadline/shedding discipline; the chunk iteration happens on the
+        caller's thread (for HTTP: the connection thread), which is safe
+        without a lock — the result table is immutable and arena rows are
+        append-only, so a concurrent hot replace cannot tear the scan.
+
+        The request's wall-clock budget covers the stream too: when it
+        expires between chunks the iterator raises
+        :class:`DeadlineExceeded` (counted as a timeout in ``/stats``;
+        an HTTP response already under way can then only be truncated),
+        and any other mid-stream failure is counted as an error, so the
+        '/stats reports every request that did not produce a result'
+        contract survives the move off the worker pool.
         """
 
         def run(session):
@@ -196,16 +226,38 @@ class QueryService:
             if not prepared.from_cache:
                 self._record_pass_stats(prepared.optimizer_stats)
             result = prepared.execute(bindings or {})
-            return {
-                "result": result.serialize(),
+            meta = {
                 "items": len(result),
                 "from_cache": prepared.from_cache,
                 "compile_seconds": result.compile_seconds,
                 "execute_seconds": result.execute_seconds,
                 "parameters": [v.name for v in prepared.parameters],
             }
+            return meta, result
 
-        return self._submit(run, deadline)
+        started = time.monotonic()
+        meta, result = self._submit(run, deadline)
+        budget = self.deadline_seconds if deadline is None else float(deadline)
+
+        def stream():
+            try:
+                for chunk in result.iter_serialized():
+                    if time.monotonic() - started > budget:
+                        with self._stats_lock:
+                            self._timeouts += 1
+                        raise DeadlineExceeded(
+                            f"serialization exceeded the {budget:.3f}s "
+                            "budget (result truncated)"
+                        )
+                    yield chunk
+            except DeadlineExceeded:
+                raise
+            except Exception:
+                with self._stats_lock:
+                    self._errors += 1
+                raise
+
+        return meta, stream()
 
     def execute_update(
         self,

@@ -1,12 +1,20 @@
 """A from-scratch, non-validating XML parser.
 
-Produces a lightweight in-memory tree of :class:`XMLElement`,
-:class:`XMLText`, :class:`XMLComment` and :class:`XMLPi` nodes.  Supports
-everything XMark documents (and reasonable hand-written test documents)
-contain: the XML declaration, elements with attributes, character data,
-CDATA sections, comments, processing instructions, builtin entities and
-numeric character references.  Not supported (raises): DTD internal
-subsets beyond skipping the declaration, and general entities.
+The parser core is **event-emitting**: :func:`parse_events` walks the
+document once with an explicit element stack (no recursion, so document
+depth is not bounded by Python's recursion limit) and fires
+start/text/end/comment/pi callbacks on an :class:`XMLEventHandler`.  Two
+consumers exist: :func:`parse_document` plugs in a tree builder and
+returns the familiar :class:`XMLElement` tree, while the streaming
+shredder (:mod:`repro.encoding.shred`) appends straight into the arena's
+column buffers without ever materialising a DOM.
+
+Supports everything XMark documents (and reasonable hand-written test
+documents) contain: the XML declaration, elements with attributes,
+character data, CDATA sections, comments, processing instructions,
+builtin entities and numeric character references.  Not supported
+(raises): DTD internal subsets beyond skipping the declaration, and
+general entities.
 """
 
 from __future__ import annotations
@@ -68,9 +76,18 @@ class _Cursor:
         self._nl_scan = 0
 
     def line_col(self) -> tuple[int, int]:
-        upto = self.text[: self.pos]
+        return self.line_col_at(self.pos)
+
+    def line_col_at(self, pos: int) -> tuple[int, int]:
+        """Line/column of an arbitrary offset.
+
+        O(offset) — error paths and references only; the parsing hot
+        loop must not call this per token (character data and attribute
+        values compute their position only when they contain a ``&``).
+        """
+        upto = self.text[:pos]
         line = upto.count("\n") + 1
-        col = self.pos - (upto.rfind("\n") + 1) + 1
+        col = pos - (upto.rfind("\n") + 1) + 1
         return line, col
 
     def error(self, message: str) -> XMLSyntaxError:
@@ -122,17 +139,44 @@ class _Cursor:
         self.advance(len(s))
 
 
-def parse_document(text: str) -> XMLElement:
-    """Parse a complete XML document, returning the root element.
+class XMLEventHandler:
+    """Callback interface for :func:`parse_events` (all no-ops here).
 
-    Leading/trailing misc (XML declaration, comments, PIs, whitespace) is
-    accepted and discarded; exactly one root element is required.
+    Subclass and override what you need; adjacent character data and
+    CDATA runs are merged into one :meth:`text` call, and empty merged
+    runs are suppressed — exactly the coalescing the tree parser applies
+    to :class:`XMLText` children.
+    """
+
+    def start_element(self, name: str, attributes: list[tuple[str, str]]) -> None:
+        """An element's start tag (attributes in document order)."""
+
+    def end_element(self, name: str) -> None:
+        """An element's end tag (fires immediately for ``<e/>``)."""
+
+    def text(self, data: str) -> None:
+        """One merged run of character data (entities resolved)."""
+
+    def comment(self, data: str) -> None:
+        """A comment (without the delimiters)."""
+
+    def pi(self, target: str, data: str) -> None:
+        """A processing instruction."""
+
+
+def parse_events(text: str, handler: XMLEventHandler) -> None:
+    """Parse a complete XML document, firing events on ``handler``.
+
+    This is the streaming entry point of the XML layer: one pass, an
+    explicit element stack, and no tree allocation.  Leading/trailing
+    misc (XML declaration, comments, PIs, whitespace) is accepted and
+    discarded; exactly one root element is required.
     """
     cur = _Cursor(text)
     _skip_prolog(cur)
     if cur.eof() or cur.peek() != "<":
         raise cur.error("expected the root element")
-    root = _parse_element(cur)
+    _parse_element_events(cur, handler)
     # trailing misc
     while not cur.eof():
         cur.skip_ws()
@@ -146,7 +190,48 @@ def parse_document(text: str) -> XMLElement:
             cur.read_until("?>", "processing instruction")
         else:
             raise cur.error("content after the root element")
-    return root
+
+
+def parse_document(text: str) -> XMLElement:
+    """Parse a complete XML document, returning the root element.
+
+    A thin consumer of :func:`parse_events` that assembles the
+    :class:`XMLElement` tree (the shredder's streaming path skips this
+    entirely and shreds from the events).
+    """
+    builder = _TreeBuilder()
+    parse_events(text, builder)
+    return builder.root
+
+
+class _TreeBuilder(XMLEventHandler):
+    """Event handler that assembles the XMLElement tree."""
+
+    __slots__ = ("root", "_stack")
+
+    def __init__(self):
+        self.root: XMLElement | None = None
+        self._stack: list[XMLElement] = []
+
+    def start_element(self, name: str, attributes: list[tuple[str, str]]) -> None:
+        elem = XMLElement(name, attributes)
+        if self._stack:
+            self._stack[-1].children.append(elem)
+        else:
+            self.root = elem
+        self._stack.append(elem)
+
+    def end_element(self, name: str) -> None:
+        self._stack.pop()
+
+    def text(self, data: str) -> None:
+        self._stack[-1].children.append(XMLText(data))
+
+    def comment(self, data: str) -> None:
+        self._stack[-1].children.append(XMLComment(data))
+
+    def pi(self, target: str, data: str) -> None:
+        self._stack[-1].children.append(XMLPi(target, data))
 
 
 def _skip_prolog(cur: _Cursor) -> None:
@@ -180,19 +265,25 @@ def _skip_prolog(cur: _Cursor) -> None:
             return
 
 
-def _parse_element(cur: _Cursor) -> XMLElement:
+def _parse_start_tag(
+    cur: _Cursor, handler: XMLEventHandler
+) -> tuple[str, bool]:
+    """One start tag; returns ``(name, self_closing)`` after firing
+    ``start_element`` (and ``end_element`` for ``<e/>``)."""
     cur.expect("<")
     name = cur.read_name()
-    elem = XMLElement(name)
-    # attributes
+    attributes: list[tuple[str, str]] = []
     while True:
         cur.skip_ws()
         if cur.startswith("/>"):
             cur.advance(2)
-            return elem
+            handler.start_element(name, attributes)
+            handler.end_element(name)
+            return name, True
         if cur.startswith(">"):
             cur.advance(1)
-            break
+            handler.start_element(name, attributes)
+            return name, False
         attr_name = cur.read_name()
         cur.skip_ws()
         cur.expect("=")
@@ -201,21 +292,16 @@ def _parse_element(cur: _Cursor) -> XMLElement:
         if quote not in ("'", '"'):
             raise cur.error("attribute value must be quoted")
         cur.advance(1)
-        line, col = cur.line_col()
+        start = cur.pos
         raw = cur.read_until(quote, "attribute value")
-        elem.attributes.append((attr_name, resolve_entities(raw, line, col)))
-    # content
-    _parse_content(cur, elem)
-    # end tag
-    end_name = cur.read_name()
-    if end_name != name:
-        raise cur.error(f"mismatched end tag </{end_name}> for <{name}>")
-    cur.skip_ws()
-    cur.expect(">")
-    return elem
+        if "&" in raw:
+            raw = resolve_entities(raw, *cur.line_col_at(start))
+        attributes.append((attr_name, raw))
 
 
-def _parse_content(cur: _Cursor, elem: XMLElement) -> None:
+def _parse_element_events(cur: _Cursor, handler: XMLEventHandler) -> None:
+    """The element grammar as one loop over an explicit open-tag stack."""
+    stack: list[str] = []
     text_parts: list[str] = []
 
     def flush_text() -> None:
@@ -223,38 +309,58 @@ def _parse_content(cur: _Cursor, elem: XMLElement) -> None:
             merged = "".join(text_parts)
             text_parts.clear()
             if merged:
-                elem.children.append(XMLText(merged))
+                handler.text(merged)
 
     while True:
-        if cur.eof():
-            raise cur.error(f"unterminated element <{elem.name}>")
-        ch = cur.peek()
-        if ch == "<":
-            if cur.startswith("</"):
-                flush_text()
-                cur.advance(2)
-                return
-            if cur.startswith("<!--"):
-                flush_text()
-                cur.advance(4)
-                elem.children.append(XMLComment(cur.read_until("-->", "comment")))
-            elif cur.startswith("<![CDATA["):
-                cur.advance(9)
-                text_parts.append(cur.read_until("]]>", "CDATA section"))
-            elif cur.startswith("<?"):
-                flush_text()
-                cur.advance(2)
-                body = cur.read_until("?>", "processing instruction")
-                target, _, data = body.partition(" ")
-                elem.children.append(XMLPi(target, data.strip()))
+        # cursor is at the '<' of an element start tag
+        name, self_closing = _parse_start_tag(cur, handler)
+        if not self_closing:
+            stack.append(name)
+        if not stack:  # a self-closing root: the document is done
+            return
+        # content of stack[-1], up to the next child start tag or the
+        # close of every open element
+        while True:
+            if cur.eof():
+                raise cur.error(f"unterminated element <{stack[-1]}>")
+            if cur.peek() == "<":
+                if cur.startswith("</"):
+                    flush_text()
+                    cur.advance(2)
+                    end_name = cur.read_name()
+                    open_name = stack.pop()
+                    if end_name != open_name:
+                        raise cur.error(
+                            f"mismatched end tag </{end_name}> for <{open_name}>"
+                        )
+                    cur.skip_ws()
+                    cur.expect(">")
+                    handler.end_element(end_name)
+                    if not stack:
+                        return
+                elif cur.startswith("<!--"):
+                    flush_text()
+                    cur.advance(4)
+                    handler.comment(cur.read_until("-->", "comment"))
+                elif cur.startswith("<![CDATA["):
+                    cur.advance(9)
+                    text_parts.append(cur.read_until("]]>", "CDATA section"))
+                elif cur.startswith("<?"):
+                    flush_text()
+                    cur.advance(2)
+                    body = cur.read_until("?>", "processing instruction")
+                    target, _, data = body.partition(" ")
+                    handler.pi(target, data.strip())
+                else:
+                    flush_text()
+                    break  # a child element: parse its start tag
             else:
-                flush_text()
-                elem.children.append(_parse_element(cur))
-        else:
-            line, col = cur.line_col()
-            end = cur.text.find("<", cur.pos)
-            if end < 0:
-                raise cur.error(f"unterminated element <{elem.name}>")
-            raw = cur.text[cur.pos : end]
-            cur.pos = end
-            text_parts.append(resolve_entities(raw, line, col))
+                start = cur.pos
+                end = cur.text.find("<", start)
+                if end < 0:
+                    raise cur.error(f"unterminated element <{stack[-1]}>")
+                raw = cur.text[start:end]
+                cur.pos = end
+                if "&" in raw:
+                    raw = resolve_entities(raw, *cur.line_col_at(start))
+                text_parts.append(raw)

@@ -4,20 +4,29 @@ This is the post-processor of the paper's Section 2 ("a simple
 post-processor then serializes the relational result to form a response in
 terms of the XQuery data model") — the node-to-markup half; the sequence
 half lives in :mod:`repro.compiler.serialize`.
+
+The arena serializer is a **scan**, not a tree walk: the pre/size
+property says the subtree of row ``p`` is exactly rows ``p .. p+size[p]``,
+so it slices ``kind/level/name/value`` over that range once, batch-decodes
+every pool surrogate the slice needs, fetches all attributes with one
+:meth:`~repro.encoding.arena.NodeArena.attrs_in_span` call, and emits
+markup in row order — open tags as rows arrive, close tags when the scan
+passes a subtree's end row (``p + size[p]``, the region encoding of the
+level-delta).  No recursion, no per-node ``children_ranges`` calls.
 """
 
 from __future__ import annotations
 
-from repro.encoding.arena import NK_COMMENT, NK_DOC, NK_PI, NK_TEXT, NodeArena
+import numpy as np
+
+from repro.encoding.arena import NK_COMMENT, NK_DOC, NK_ELEM, NK_PI, NK_TEXT, NodeArena
 from repro.xml.escape import escape_attr, escape_text
 from repro.xml.parser import XMLComment, XMLElement, XMLPi, XMLText
 
 
 def serialize_node(arena: NodeArena, node: int) -> str:
     """Serialise the subtree rooted at arena row ``node`` to XML text."""
-    out: list[str] = []
-    _serialize_into(arena, node, out)
-    return "".join(out)
+    return "".join(scan_parts(arena, node))
 
 
 def serialize_attribute(arena: NodeArena, attr_id: int) -> str:
@@ -25,6 +34,91 @@ def serialize_attribute(arena: NodeArena, attr_id: int) -> str:
     name = arena.pool.value(int(arena.attr_name[attr_id]))
     value = arena.pool.value(int(arena.attr_value[attr_id]))
     return f'{name}="{escape_attr(value)}"'
+
+
+def scan_parts(arena: NodeArena, node: int) -> list[str]:
+    """The markup of row ``node``'s subtree as a list of string parts.
+
+    This is the vectorised core behind :func:`serialize_node` and the
+    chunked result streaming in :mod:`repro.compiler.serialize`: callers
+    either join the parts into one string or flush them downstream in
+    bounded chunks without ever assembling the full text.
+    """
+    start = int(node)
+    stop = start + int(arena.size[start]) + 1
+    kinds = arena.kind[start:stop].tolist()
+    sizes = arena.size[start:stop].tolist()
+    pool = arena.pool
+    # one batched decode for every surrogate the slice can reference;
+    # nameless/valueless rows carry -1, clipped to 0 and never read
+    decode = pool.values
+    if len(pool):
+        names = decode(np.maximum(arena.name[start:stop], 0).tolist())
+        values = decode(np.maximum(arena.value[start:stop], 0).tolist())
+    else:  # an arena with no interned strings holds no named/valued rows
+        names = values = [""] * (stop - start)
+    # all attributes of the whole slice in two binary searches, rendered
+    # to ready-to-concatenate ` name="value"` parts in one pass
+    attr_ids, attr_counts_arr = arena.attrs_in_span(start, stop)
+    attr_counts = attr_counts_arr.tolist()
+    attr_strs = [
+        f' {n}="{escape_attr(v)}"'
+        for n, v in zip(
+            decode(arena.attr_name[attr_ids].tolist()),
+            decode(arena.attr_value[attr_ids].tolist()),
+        )
+    ]
+
+    out: list[str] = []
+    append = out.append
+    # stack of (end offset, close tag): popped when the scan passes the
+    # subtree's last row — the pre/size form of closing on level deltas
+    open_tags: list[tuple[int, str]] = []
+    ap = 0  # cursor into the flattened attribute arrays
+    for i, kind in enumerate(kinds):
+        while open_tags and open_tags[-1][0] <= i:
+            append(open_tags.pop()[1])
+        if kind == NK_ELEM:
+            name = names[i]
+            count = attr_counts[i]
+            if count:
+                attrs = "".join(attr_strs[ap : ap + count])
+                ap += count
+            else:
+                attrs = ""
+            size = sizes[i]
+            if size == 0:
+                append(f"<{name}{attrs}/>")
+            else:
+                append(f"<{name}{attrs}>")
+                open_tags.append((i + size + 1, f"</{name}>"))
+        elif kind == NK_TEXT:
+            append(escape_text(values[i]))
+        elif kind == NK_COMMENT:
+            append(f"<!--{values[i]}-->")
+        elif kind == NK_PI:
+            data = values[i]
+            append(f"<?{names[i]} {data}?>" if data else f"<?{names[i]}?>")
+        # NK_DOC contributes no markup of its own
+    while open_tags:
+        append(open_tags.pop()[1])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the pre-scan recursive serializer, kept as the differential-test oracle
+# ---------------------------------------------------------------------------
+def serialize_node_recursive(arena: NodeArena, node: int) -> str:
+    """Serialise row ``node``'s subtree by recursive tree walk.
+
+    The original node-at-a-time post-processor (one ``children_ranges`` /
+    ``attr_ranges`` call per node).  Kept as the oracle the scan
+    serializer is differentially tested against — and as the baseline
+    ``benchmarks/bench_serialize.py`` measures the speedup over.
+    """
+    out: list[str] = []
+    _serialize_into(arena, node, out)
+    return "".join(out)
 
 
 def _serialize_into(arena: NodeArena, node: int, out: list[str]) -> None:
@@ -63,9 +157,7 @@ def _serialize_into(arena: NodeArena, node: int, out: list[str]) -> None:
     out.append(f"</{name}>")
 
 
-def _single(node: int):
-    import numpy as np
-
+def _single(node: int) -> np.ndarray:
     return np.asarray([node], dtype=np.int64)
 
 

@@ -326,3 +326,96 @@ class TestReviewRegressions:
             blocker.join(timeout=60)
         finally:
             service.shutdown(wait=True)
+
+
+class TestChunkedQueryResponses:
+    """``POST /query`` streams with chunked transfer encoding, and the
+    reassembled body is byte-identical to the buffered JSON payload."""
+
+    def _raw_query(self, base: str, payload: dict):
+        """One /query round trip at the http.client level, so the raw
+        transfer headers are observable."""
+        import http.client
+        from urllib.parse import urlparse
+
+        url = urlparse(base)
+        conn = http.client.HTTPConnection(url.hostname, url.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/query",
+                body=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            body = resp.read()
+            return resp, body
+        finally:
+            conn.close()
+
+    def test_response_is_chunked(self, server):
+        base, _ = server
+        resp, body = self._raw_query(base, {"query": "/r/v"})
+        assert resp.status == 200
+        assert resp.getheader("Transfer-Encoding") == "chunked"
+        assert resp.getheader("Content-Length") is None
+        assert json.loads(body)["result"] == "<v>1</v><v>2</v><v>3</v>"
+
+    def test_body_is_byte_identical_to_buffered_json(self, server):
+        """The hand-assembled chunk stream must be exactly what
+        ``json.dumps`` of the buffered payload would have produced —
+        including string escapes and unicode handling."""
+        base, _ = server
+        query = '(/r/v, "quote ""and"" backslash \\", "café", "a<b", 1.5)'
+        resp, body = self._raw_query(base, {"query": query})
+        assert resp.status == 200
+        payload = json.loads(body)
+        assert body.decode("utf-8") == json.dumps(payload)
+        assert "café" in payload["result"]
+
+    def test_multi_chunk_document_result(self, server):
+        """A whole-document result streams in more than one TCP chunk
+        yet reassembles to the buffered serialization."""
+        base, _ = server
+        resp, body = self._raw_query(base, {"query": 'doc("r.xml")'})
+        assert resp.status == 200
+        payload = json.loads(body)
+        assert payload["result"] == DOC
+        assert body.decode("utf-8") == json.dumps(payload)
+
+    def test_errors_still_buffered_json(self, server):
+        base, _ = server
+        status, body = post_query(base, {"query": "for $x in"})
+        assert status == 400 and body["kind"] == "XQuerySyntaxError"
+
+    def test_stream_deadline_covers_serialization(self):
+        """The request budget does not stop at the worker pool: a stream
+        consumed after expiry raises DeadlineExceeded and counts as a
+        timeout in /stats."""
+        import time as _time
+
+        database = Database()
+        database.load_document("r.xml", DOC)
+        service = QueryService(database, workers=1, deadline_seconds=60.0)
+        try:
+            meta, chunks = service.execute_stream("/r/v", deadline=0.2)
+            assert meta["items"] == 3
+            before = service.stats()["timeouts"]
+            _time.sleep(0.3)
+            with pytest.raises(DeadlineExceeded):
+                list(chunks)
+            assert service.stats()["timeouts"] == before + 1
+        finally:
+            service.shutdown()
+
+    def test_stream_happy_path_counts_no_errors(self):
+        database = Database()
+        database.load_document("r.xml", DOC)
+        service = QueryService(database, workers=1)
+        try:
+            meta, chunks = service.execute_stream("count(/r/v)")
+            assert "".join(chunks) == "3"
+            stats = service.stats()
+            assert stats["errors"] == 0 and stats["timeouts"] == 0
+        finally:
+            service.shutdown()
