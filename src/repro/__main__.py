@@ -55,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="load a generated XMark instance as 'auction.xml'",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent document store directory (created if missing; "
+        "previously persisted documents are recovered, updates are "
+        "durable — see docs/storage.md)",
+    )
+    parser.add_argument(
         "--bind",
         action="append",
         default=[],
@@ -182,21 +189,29 @@ def main(argv: list[str] | None = None, out=None) -> int:
         )
         return 2
 
-    session = connect(use_optimizer=not args.no_optimizer, disabled_passes=disabled)
-    database = session.database
     try:
+        session = connect(
+            use_optimizer=not args.no_optimizer,
+            disabled_passes=disabled,
+            store=args.store,
+        )
+        database = session.database
         raw_bindings = dict(parse_binding(spec) for spec in args.bind)
+        # with a store, URIs may already exist from recovery — replace
+        replace = args.store is not None
         if args.xmark is not None:
             from repro.xmark import generate_document
 
-            database.load_document("auction.xml", generate_document(args.xmark))
+            database.load_document(
+                "auction.xml", generate_document(args.xmark), replace=replace
+            )
         for spec in args.doc:
             uri, _, path = spec.partition("=")
             if not path:
                 print(f"bad --doc {spec!r}, expected URI=PATH", file=sys.stderr)
                 return 2
             with open(path, "r", encoding="utf-8") as handle:
-                database.load_document(uri, handle.read())
+                database.load_document(uri, handle.read(), replace=replace)
 
         from repro.xquery.core import is_updating
         from repro.xquery.parser import parse_query

@@ -55,6 +55,11 @@ from repro.compiler.loop_lifting import Compiler
 from repro.encoding.arena import NodeArena
 from repro.encoding.shred import shred_text
 from repro.encoding.storage import StorageReport, measure_storage
+from repro.encoding.store import (
+    DocumentStore,
+    materialize_delta,
+    serialize_delta,
+)
 from repro.errors import PathfinderError
 from repro.relational import algebra as alg
 from repro.relational.optimizer import (
@@ -70,7 +75,12 @@ class Database:
     """Documents + arena + plan cache; the shared, thread-safe layer of
     the API (see the module docstring for the locking contract)."""
 
-    def __init__(self, plan_cache_size: int = 128):
+    def __init__(
+        self,
+        plan_cache_size: int = 128,
+        store: "DocumentStore | str | None" = None,
+        checkpoint_wal_bytes: int | None = 4 * 1024 * 1024,
+    ):
         self.arena = NodeArena()
         self.documents: dict[str, int] = {}
         self.doc_epochs: dict[str, int] = {}
@@ -87,6 +97,75 @@ class Database:
         # arena statistics for the optimizer, rebuilt when the catalog
         # changes (same invalidation points as the plan cache)
         self._estimator: CardinalityEstimator | None = None
+        #: the attached persistent store (None = pure in-memory catalog)
+        self.store: DocumentStore | None = None
+        #: auto-checkpoint once the WAL outgrows this (None disables)
+        self.checkpoint_wal_bytes = checkpoint_wal_bytes
+        if store is not None:
+            if not isinstance(store, DocumentStore):
+                store = DocumentStore(store)
+            self.store = store
+            with self._rwlock.write_locked():
+                self._recover_locked()
+
+    @classmethod
+    def open(
+        cls,
+        path: "DocumentStore | str",
+        plan_cache_size: int = 128,
+        checkpoint_wal_bytes: int | None = 4 * 1024 * 1024,
+    ) -> "Database":
+        """Open (or create) a persistent database at ``path``.
+
+        Restart is an mmap + WAL replay, not a re-parse: every document
+        in the store manifest is adopted from its memory-mapped column
+        files, then any un-checkpointed
+        :class:`~repro.encoding.arena.TreeDelta` records in the WAL tail
+        are replayed on top, leaving the catalog exactly as the last
+        fsynced update saw it.
+        """
+        return cls(
+            plan_cache_size=plan_cache_size,
+            store=path,
+            checkpoint_wal_bytes=checkpoint_wal_bytes,
+        )
+
+    def _recover_locked(self) -> None:
+        """Load manifest fragments, replay the WAL tail, restore epochs."""
+        store = self.store
+        store.gc_unreferenced()
+        for uri, meta in sorted(store.manifest["documents"].items()):
+            self.documents[uri] = store.load_fragment(self.arena, uri)
+            self.doc_epochs[uri] = meta["epoch"]
+            self._xml_bytes += meta.get("xml_bytes", 0)
+        last_epoch = store.manifest.get("last_epoch", 0)
+        for record in store.read_wal():
+            for part in record.get("docs", ()):
+                uri = part["uri"]
+                if self.doc_epochs.get(uri) != part["base_epoch"]:
+                    continue  # already folded in by a checkpoint/replace
+                delta = materialize_delta(
+                    self.arena, self.documents[uri], part["delta"]
+                )
+                self.documents[uri] = self.arena.rebuild_with_delta(
+                    self.documents[uri], delta
+                )
+                self.doc_epochs[uri] = part["new_epoch"]
+                store.dirty.add(uri)
+                store.replayed += 1
+            last_epoch = max(
+                last_epoch,
+                max((p["new_epoch"] for p in record.get("docs", ())), default=0),
+            )
+        self._epoch_counter = itertools.count(last_epoch + 1)
+        default = store.manifest.get("default_document")
+        if default is not None and default in self.documents:
+            self._default_document = default
+            self._default_explicit = True
+        elif self.documents:
+            # same implicit rule as in-memory first-load (manifest order)
+            self._default_document = next(iter(sorted(self.documents)))
+            self._default_explicit = False
 
     def read_locked(self):
         """Context manager holding the catalog lock shared.
@@ -117,6 +196,8 @@ class Database:
                 raise PathfinderError(f"document {uri!r} is not loaded")
             self._default_document = uri
             self._default_explicit = True
+            if self.store is not None:
+                self.store.set_default(uri)
 
     def load_document(
         self,
@@ -163,17 +244,33 @@ class Database:
             self.plan_cache.invalidate_document(uri)
         before = self.arena.num_nodes
         root = shred_text(self.arena, xml_text)
-        self.documents[uri] = root
-        self.doc_epochs[uri] = next(self._epoch_counter)
-        self._estimator = None
-        self._xml_bytes += len(xml_text.encode("utf-8"))
+        epoch = next(self._epoch_counter)
+        xml_bytes = len(xml_text.encode("utf-8"))
         if default:
-            self._default_document = uri
-            self._default_explicit = True
+            new_default, explicit = uri, True
         elif self._default_document is None:
             # implicit first-load default — see the module docstring
-            self._default_document = uri
-            self._default_explicit = False
+            new_default, explicit = uri, False
+        else:
+            new_default, explicit = self._default_document, self._default_explicit
+        if self.store is not None:
+            # persist before publishing: a failed write leaves the
+            # catalog unchanged (the shredded rows are harmless orphans
+            # in the append-only arena)
+            self.store.persist_document(
+                uri,
+                epoch,
+                self.arena,
+                root,
+                xml_bytes=xml_bytes,
+                default_document=new_default,
+            )
+        self.documents[uri] = root
+        self.doc_epochs[uri] = epoch
+        self._estimator = None
+        self._xml_bytes += xml_bytes
+        self._default_document = new_default
+        self._default_explicit = explicit
         return self.arena.num_nodes - before
 
     def apply_update(
@@ -193,15 +290,23 @@ class Database:
         existing pre/size/level rows (an append-only delta), not from
         re-shredding XML text.
 
+        With a persistent store attached this is the WAL write path:
+        the collected deltas are serialized and fsynced to the log
+        *before* the arena mutates, so once this method returns the
+        update survives a crash — recovery replays the record on top of
+        the last checkpointed fragments.  The WAL is folded away (and
+        truncated) by :meth:`checkpoint`, which also runs automatically
+        once the log outgrows ``checkpoint_wal_bytes``.
+
         Returns a JSON-ready summary: primitive counts under
         ``"applied"`` and the new per-document node counts/epochs under
         ``"documents"``.
         """
-        from repro.compiler.updates import apply_update_module
+        from repro.compiler.updates import collect_update_deltas
 
         with self._rwlock.write_locked():
             t0 = time.perf_counter()
-            outcome = apply_update_module(
+            deltas, applied = collect_update_deltas(
                 core_module,
                 self.arena,
                 self.documents,
@@ -209,23 +314,75 @@ class Database:
                 bindings=bindings,
                 deadline=deadline,
             )
-            for uri, new_root in outcome.new_roots.items():
+            new_epochs = {uri: next(self._epoch_counter) for uri in deltas}
+            if self.store is not None and deltas:
+                # one record per update: multi-document updates recover
+                # atomically (all documents replay or none do)
+                self.store.append_wal(
+                    {
+                        "docs": [
+                            {
+                                "uri": uri,
+                                "base_epoch": self.doc_epochs[uri],
+                                "new_epoch": new_epochs[uri],
+                                "delta": serialize_delta(
+                                    self.arena, self.documents[uri], delta
+                                ),
+                            }
+                            for uri, delta in deltas.items()
+                        ]
+                    }
+                )
+            new_roots = {
+                uri: self.arena.rebuild_with_delta(self.documents[uri], delta)
+                for uri, delta in deltas.items()
+            }
+            for uri, new_root in new_roots.items():
                 self.documents[uri] = new_root
-                self.doc_epochs[uri] = next(self._epoch_counter)
+                self.doc_epochs[uri] = new_epochs[uri]
                 self.plan_cache.invalidate_document(uri)
-            if outcome.new_roots:
+            if new_roots:
                 self._estimator = None
+            if (
+                self.store is not None
+                and self.checkpoint_wal_bytes is not None
+                and self.store.wal_bytes >= self.checkpoint_wal_bytes
+            ):
+                self._checkpoint_locked()
             return {
-                "applied": outcome.applied,
+                "applied": applied,
                 "documents": {
                     uri: {
                         "nodes": int(self.arena.size[root]) + 1,
                         "epoch": self.doc_epochs[uri],
                     }
-                    for uri, root in outcome.new_roots.items()
+                    for uri, root in new_roots.items()
                 },
                 "seconds": time.perf_counter() - t0,
             }
+
+    def checkpoint(self) -> dict:
+        """Fold the WAL into fragment files and truncate it.
+
+        Rewrites the mmap fragments of every document with logged
+        deltas, swaps the manifest atomically, then empties the log —
+        after this, reopening needs no replay.  Requires an attached
+        store; runs under the exclusive catalog lock (same write path
+        as a hot replace).
+        """
+        if self.store is None:
+            raise PathfinderError("no persistent store is attached")
+        with self._rwlock.write_locked():
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> dict:
+        return self.store.checkpoint(
+            self.arena, self.documents, self.doc_epochs, self._default_document
+        )
+
+    def store_status(self) -> dict | None:
+        """The attached store's operational summary (None when absent)."""
+        return None if self.store is None else self.store.status()
 
     def unload_document(self, uri: str) -> None:
         """Remove a document from the catalog and invalidate its plans.
@@ -243,6 +400,8 @@ class Database:
             if self._default_document == uri:
                 self._default_document = None
                 self._default_explicit = False
+            if self.store is not None:
+                self.store.remove_document(uri, self._default_document)
 
     def storage_report(self) -> StorageReport:
         """Byte-level storage accounting (Section 3.1 experiment)."""
@@ -419,17 +578,26 @@ def connect(
     use_join_recognition: bool = True,
     disabled_passes: frozenset[str] | tuple = frozenset(),
     backend: str = "numpy",
+    store: "DocumentStore | str | None" = None,
 ) -> "Session":
     """Open a session — the front door of the API.
 
     ``repro.connect()`` creates a private in-memory :class:`Database` and
     returns a session on it; pass an existing ``database`` to share one
-    catalog and plan cache between sessions.  ``disabled_passes`` names
-    optimizer rewrite passes this session should skip; ``backend`` picks
-    the evaluator ("numpy" or "sqlhost").
+    catalog and plan cache between sessions, or ``store=PATH`` for a
+    **persistent** database: documents load from the store's
+    memory-mapped fragments (replaying any write-ahead-log tail) and
+    every load/update is crash-safely persisted — see ``docs/storage.md``.
+    ``disabled_passes`` names optimizer rewrite passes this session
+    should skip; ``backend`` picks the evaluator ("numpy" or "sqlhost").
     """
     if database is None:
-        database = Database()
+        database = Database(store=store)
+    elif store is not None:
+        raise PathfinderError(
+            "pass store= when creating the Database, not to connect() "
+            "on an existing one"
+        )
     return database.connect(
         use_staircase=use_staircase,
         use_optimizer=use_optimizer,

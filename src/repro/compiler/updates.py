@@ -473,22 +473,23 @@ def _delta_for(delta: TreeDelta, p: UpdatePrimitive) -> None:
         delta.rename[p.target] = p.value
 
 
-def apply_update_module(
+def collect_update_deltas(
     module: ast.Module,
     arena: NodeArena,
     documents: dict[str, int],
     default_document: str | None,
     bindings: dict | None = None,
     deadline: float | None = None,
-) -> UpdateOutcome:
-    """Collect, check and apply one updating module.
+) -> tuple[dict[str, TreeDelta], dict]:
+    """Collect and check one updating module; do **not** apply it.
 
-    The caller must hold the catalog exclusively (the Database layer
-    does): collection reads the current trees, application appends the
-    rebuilt fragments, and the returned ``new_roots`` map tells the
-    caller which catalog entries to swap.
+    Runs the pending-update-list pipeline up to (and including) the
+    per-document :class:`~repro.encoding.arena.TreeDelta` grouping and
+    returns ``(deltas, applied_counts)`` with the arena untouched.  The
+    split exists for write-ahead logging: the Database serialises these
+    deltas to the WAL (and fsyncs) *before* any arena mutation, then
+    applies them with :meth:`~repro.encoding.arena.NodeArena.rebuild_with_delta`.
     """
-    t0 = time.perf_counter()
     compiler = PendingUpdateCompiler(arena, documents, default_document, deadline)
     pul = compiler.compile_module(module, bindings)
 
@@ -517,13 +518,34 @@ def apply_update_module(
             )
         _delta_for(deltas.setdefault(uri, TreeDelta()), p)
         applied[_PRIMITIVE_LABELS[p.kind]] += 1
+    return deltas, dict(sorted(applied.items()))
 
+
+def apply_update_module(
+    module: ast.Module,
+    arena: NodeArena,
+    documents: dict[str, int],
+    default_document: str | None,
+    bindings: dict | None = None,
+    deadline: float | None = None,
+) -> UpdateOutcome:
+    """Collect, check and apply one updating module.
+
+    The caller must hold the catalog exclusively (the Database layer
+    does): collection reads the current trees, application appends the
+    rebuilt fragments, and the returned ``new_roots`` map tells the
+    caller which catalog entries to swap.
+    """
+    t0 = time.perf_counter()
+    deltas, applied = collect_update_deltas(
+        module, arena, documents, default_document, bindings, deadline
+    )
     new_roots = {
         uri: arena.rebuild_with_delta(documents[uri], delta)
         for uri, delta in deltas.items()
     }
     return UpdateOutcome(
-        applied=dict(sorted(applied.items())),
+        applied=applied,
         new_roots=new_roots,
         seconds=time.perf_counter() - t0,
     )

@@ -292,6 +292,26 @@ class NodeArena:
             self._version += 1
             return self.num_attrs - 1
 
+    def append_attrs(
+        self,
+        owners: Sequence[int],
+        names: Sequence[int],
+        values: Sequence[int],
+    ) -> int:
+        """Bulk append attributes; returns the first appended attribute id.
+
+        The vectorised twin of :meth:`append_attr`, used when adopting a
+        whole persisted fragment (:mod:`repro.encoding.store`) — one
+        array extend instead of a Python loop per attribute.
+        """
+        with self.mutation_lock:
+            base = self.num_attrs
+            self._attr_owner.extend(owners)
+            self._attr_name.extend(names)
+            self._attr_value.extend(values)
+            self._version += 1
+            return base
+
     # -------------------------------------------------------------- indices
     def _refresh_indices(self) -> tuple:
         """Return the navigation-index snapshot for the current version.

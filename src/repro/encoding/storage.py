@@ -22,6 +22,30 @@ NODE_ROW_BYTES = 4 + 1 + 1 + 4  # size, level, kind, prop surrogate
 ATTR_ROW_BYTES = 4 + 4 + 4
 POOL_ENTRY_OVERHEAD = 8
 
+# --- the persistent store's *actual* on-disk widths (encoding/store.py:
+# one file per column; kind u1, level i4, every other column i8) ---
+STORE_NODE_ROW_BYTES = 1 + 8 + 4 + 8 + 8 + 8  # kind,size,level,parent,name,value
+STORE_ATTR_ROW_BYTES = 8 + 8 + 8  # owner, name, value
+STORE_OFFSET_BYTES = 8  # one pool-offset entry
+
+
+def persisted_fragment_bytes(
+    nodes: int, attrs: int, strings: int, blob_bytes: int
+) -> int:
+    """Exact on-disk size of one fragment directory's column files.
+
+    This is the real footprint of the mmap layout, as opposed to the
+    *modelled* MonetDB widths above — the store is wider per row (i8
+    columns for mmap alignment and a materialised ``parent``) but pays
+    the string pool only for the fragment's distinct strings.
+    """
+    return (
+        nodes * STORE_NODE_ROW_BYTES
+        + attrs * STORE_ATTR_ROW_BYTES
+        + blob_bytes
+        + (strings + 1) * STORE_OFFSET_BYTES
+    )
+
 
 @dataclass(frozen=True)
 class StorageReport:

@@ -98,6 +98,7 @@ _EMPTY_I64 = np.empty(0, dtype=np.int64)
 _EMPTY_U8 = np.empty(0, dtype=np.uint8)
 
 _POOLED_ARR = np.array(_POOLED, dtype=np.uint8)
+_EXACT_ARR = np.array(_EXACT, dtype=np.uint8)
 
 
 def pooled_strings(
@@ -173,11 +174,33 @@ class StringPool:
         return [strings[int(i)] for i in sids]
 
     def intern_many(self, values: Sequence[str]) -> np.ndarray:
-        """Intern a batch of strings, returning their surrogates."""
+        """Intern a batch of strings, returning their surrogates.
+
+        Hits resolve lock-free; the misses (if any) take the intern
+        mutex once for the whole batch rather than once per string —
+        the store's fragment adoption interns thousands of distinct
+        strings in one call, where per-string locking dominates.
+        """
         out = np.empty(len(values), dtype=np.int64)
-        intern = self.intern
+        ids = self._ids
+        misses = []
         for i, v in enumerate(values):
-            out[i] = intern(v)
+            sid = ids.get(v)
+            if sid is None:
+                misses.append(i)
+            else:
+                out[i] = sid
+        if misses:
+            with self._intern_lock:
+                strings = self._strings
+                for i in misses:
+                    v = values[i]
+                    sid = ids.get(v)
+                    if sid is None:
+                        sid = len(strings)
+                        strings.append(v)
+                        ids[v] = sid
+                    out[i] = sid
         return out
 
     def doubles_for(self, sids: np.ndarray) -> np.ndarray:
@@ -525,45 +548,53 @@ _ARITH = {"add", "sub", "mul", "div", "idiv", "mod"}
 _CMP = {"eq", "ne", "lt", "le", "gt", "ge"}
 
 
-def _exact_numeric(col: ItemColumn) -> bool:
-    """True when every item is an exact numeric (xs:integer/xs:decimal)."""
-    return bool(
-        len(col) == 0 or np.all(np.isin(col.kinds, np.array(_EXACT, dtype=np.uint8)))
-    )
+def _int_arith(op: str, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Integer-payload arithmetic for ``add/sub/mul/idiv/mod`` (zero-free y)."""
+    if op == "add":
+        return x + y
+    if op == "sub":
+        return x - y
+    if op == "mul":
+        return x * y
+    if op == "idiv":
+        # XQuery idiv truncates toward zero; numpy floor-divides.
+        q = np.abs(x) // np.abs(y)
+        return np.where((x < 0) != (y < 0), -q, q)
+    return np.fmod(x.astype(np.float64), y.astype(np.float64)).astype(np.int64)
 
 
 def arithmetic(op: str, a: ItemColumn, b: ItemColumn, pool: StringPool) -> ItemColumn:
     """Elementwise arithmetic with XQuery numeric promotion.
 
-    integer op integer stays integral for ``add/sub/mul/idiv/mod``; two
-    exact numerics (integer/decimal) stay decimal; anything else promotes
-    to double.  Untyped operands are cast to double first (the F&O rule
-    for untypedAtomic in arithmetic).  Dividing exact numerics by zero is
-    ``err:FOAR0001`` — only ``xs:double`` division yields INF/NaN.
+    Promotion is decided **per row**: integer op integer stays integral
+    for ``add/sub/mul/idiv/mod``; two exact numerics (integer/decimal)
+    stay decimal; anything else promotes to double.  Untyped operands are
+    cast to double first (the F&O rule for untypedAtomic in arithmetic).
+    Per-row typing matters for plan-rewrite stability — a row's result
+    type may not depend on which other rows happen to share the column,
+    or pruning rows would change results.  Dividing exact numerics by
+    zero is ``err:FOAR0001`` — only ``xs:double`` division yields
+    INF/NaN (``idiv`` by zero raises for every numeric type, F&O 6.2.5).
     """
     if op not in _ARITH:
         raise ValueError(f"unknown arithmetic op {op!r}")
-    both_int = a.is_homogeneous(K_INT) and b.is_homogeneous(K_INT)
-    if both_int and op in ("add", "sub", "mul", "idiv", "mod"):
+    int_rows = (a.kinds == K_INT) & (b.kinds == K_INT)
+    integral = op in ("add", "sub", "mul", "idiv", "mod")
+    if integral and int_rows.all():
         x, y = a.data, b.data
-        if op == "add":
-            return ItemColumn.from_ints(x + y)
-        if op == "sub":
-            return ItemColumn.from_ints(x - y)
-        if op == "mul":
-            return ItemColumn.from_ints(x * y)
-        if np.any(y == 0):
+        if op in ("idiv", "mod") and np.any(y == 0):
             raise DynamicError("integer division by zero", code="err:FOAR0001")
-        if op == "idiv":
-            # XQuery idiv truncates toward zero; numpy floor-divides.
-            q = np.abs(x) // np.abs(y)
-            return ItemColumn.from_ints(np.where((x < 0) != (y < 0), -q, q))
-        r = np.fmod(x.astype(np.float64), y.astype(np.float64)).astype(np.int64)
-        return ItemColumn.from_ints(r)
-    exact = _exact_numeric(a) and _exact_numeric(b)
+        return ItemColumn.from_ints(_int_arith(op, x, y))
+    exact_rows = np.isin(a.kinds, _EXACT_ARR) & np.isin(b.kinds, _EXACT_ARR)
     x = to_double(a, pool)
     y = to_double(b, pool)
-    if exact and op in ("div", "mod") and np.any(y == 0):
+    if op == "idiv":
+        # idiv returns xs:integer whatever the operand types (F&O 6.2.5)
+        if np.any(y == 0):
+            raise DynamicError("integer division by zero", code="err:FOAR0001")
+        with np.errstate(invalid="ignore"):
+            return ItemColumn.from_ints(np.trunc(x / y).astype(np.int64))
+    if op in ("div", "mod") and np.any(exact_rows & (y == 0)):
         raise DynamicError(
             "integer/decimal division by zero", code="err:FOAR0001"
         )
@@ -576,27 +607,31 @@ def arithmetic(op: str, a: ItemColumn, b: ItemColumn, pool: StringPool) -> ItemC
             r = x * y
         elif op == "div":
             r = x / y
-        elif op == "idiv":
-            if np.any(y == 0):
-                raise DynamicError("integer division by zero", code="err:FOAR0001")
-            return ItemColumn.from_ints(np.trunc(x / y).astype(np.int64))
         else:  # mod
             r = np.fmod(x, y)
     # closure over exact numerics: integer div integer (and any op mixing
     # integers with decimals) has type xs:decimal, so nested division by
     # zero is still detected
-    if exact:
-        return ItemColumn.from_decimals(r)
-    return ItemColumn.from_doubles(r)
+    kinds = np.where(exact_rows, K_DEC, K_DBL).astype(np.uint8)
+    data = _bits(r)
+    if integral and int_rows.any():
+        # redo the all-integer rows in int64 so they keep exact payloads
+        kinds[int_rows] = K_INT
+        data[int_rows] = _int_arith(op, a.data[int_rows], b.data[int_rows])
+    return ItemColumn(kinds, data)
 
 
 def negate(a: ItemColumn, pool: StringPool) -> ItemColumn:
-    """Unary minus with the same promotion rules as :func:`arithmetic`."""
-    if a.is_homogeneous(K_INT):
+    """Unary minus with the same per-row promotion as :func:`arithmetic`."""
+    int_rows = a.kinds == K_INT
+    if int_rows.all():
         return ItemColumn.from_ints(-a.data)
-    if _exact_numeric(a):
-        return ItemColumn.from_decimals(-to_double(a, pool))
-    return ItemColumn.from_doubles(-to_double(a, pool))
+    kinds = np.where(np.isin(a.kinds, _EXACT_ARR), K_DEC, K_DBL).astype(np.uint8)
+    data = _bits(-to_double(a, pool))
+    if int_rows.any():
+        kinds[int_rows] = K_INT
+        data[int_rows] = -a.data[int_rows]
+    return ItemColumn(kinds, data)
 
 
 def compare(op: str, a: ItemColumn, b: ItemColumn, pool: StringPool) -> np.ndarray:

@@ -12,6 +12,11 @@ query execution, ``--deadline`` is the default per-request wall-clock
 budget, ``--plan-cache`` sizes the shared compile-once LRU, and
 ``--backend sqlhost`` runs worker sessions on the SQLite host (with
 automatic numpy fallback).
+
+``--store DIR`` attaches a persistent document store (docs/storage.md):
+documents already persisted under DIR are recovered (mmap + WAL replay)
+before any ``--doc``/``--xmark`` load, updates are logged for crash
+recovery, and a graceful shutdown checkpoints the log.
 """
 
 from __future__ import annotations
@@ -63,6 +68,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="load a generated XMark instance as 'auction.xml'",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="attach a persistent document store directory (created if "
+        "missing; existing documents are recovered before --doc/--xmark)",
+    )
+    parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default="numpy",
@@ -83,12 +94,20 @@ def serve_main(argv: list[str] | None = None, out=None) -> int:
 
     out = out or sys.stdout
     args = build_serve_parser().parse_args(argv)
-    database = Database(plan_cache_size=args.plan_cache)
     try:
+        database = Database(plan_cache_size=args.plan_cache, store=args.store)
+        if args.store is not None and database.documents:
+            recovered = ", ".join(sorted(database.documents))
+            print(f"recovered from {args.store}: {recovered}", file=out)
+        # with a store attached a --doc/--xmark URI may already exist from
+        # recovery; replace semantics make the restart idempotent
+        replace = args.store is not None
         if args.xmark is not None:
             from repro.xmark import generate_document
 
-            database.load_document("auction.xml", generate_document(args.xmark))
+            database.load_document(
+                "auction.xml", generate_document(args.xmark), replace=replace
+            )
             print(f"loaded auction.xml (XMark scale {args.xmark})", file=out)
         for spec in args.doc:
             uri, _, path = spec.partition("=")
@@ -96,7 +115,7 @@ def serve_main(argv: list[str] | None = None, out=None) -> int:
                 print(f"bad --doc {spec!r}, expected URI=PATH", file=sys.stderr)
                 return 2
             with open(path, "r", encoding="utf-8") as handle:
-                nodes = database.load_document(uri, handle.read())
+                nodes = database.load_document(uri, handle.read(), replace=replace)
             print(f"loaded {uri} ({nodes} nodes)", file=out)
         service = QueryService(
             database,

@@ -16,6 +16,8 @@ POST     ``/query``             ``{"query": ..., "bindings": {...},
                                 streamed as a chunked-transfer response
 POST     ``/update``            same body shape, updating query →
                                 applied-primitive counts + new epochs
+POST     ``/checkpoint``        fold the store's WAL into fragment
+                                files (400 when no store is attached)
 GET      ``/explain``           ``?q=<query>`` → plan stages + pass stats
 GET      ``/documents``         catalog listing (uri, nodes, epoch, default)
 PUT      ``/documents/<uri>``   body = XML; load or hot-replace
@@ -149,12 +151,17 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {url.path}"})
 
     def do_POST(self):
-        """Route POST requests (``/query`` and ``/update``)."""
+        """Route POST requests (``/query``, ``/update``, ``/checkpoint``)."""
         url = urlparse(self.path)
         if url.path == "/query":
             self._dispatch(self._query)
         elif url.path == "/update":
             self._dispatch(self._update)
+        elif url.path == "/checkpoint":
+            self._discard_body()  # the body is never used
+            self._dispatch(
+                lambda: self._send_json(200, self.service.checkpoint())
+            )
         else:
             self._discard_body()
             self._send_json(404, {"error": f"no route {url.path}"})

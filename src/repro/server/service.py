@@ -340,6 +340,15 @@ class QueryService:
         self.database.unload_document(uri)
         return {"uri": uri, "unloaded": True}
 
+    def checkpoint(self) -> dict:
+        """Fold the store's WAL into fragments (``POST /checkpoint``).
+
+        Caller's thread, not the pool, for the same reason as
+        :meth:`put_document`: it takes the exclusive catalog lock.
+        Raises :class:`PathfinderError` when no store is attached.
+        """
+        return self.database.checkpoint()
+
     # --------------------------------------------------------------- stats
     def stats(self) -> dict:
         """The operational counters behind ``GET /stats``."""
@@ -381,10 +390,24 @@ class QueryService:
                 "documents": len(self.database.documents),
             }
         )
+        store = self.database.store_status()
+        if store is not None:
+            payload["store"] = store
         return payload
 
     # ------------------------------------------------------------ shutdown
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) drain in-flight queries."""
+        """Stop accepting work and (optionally) drain in-flight queries.
+
+        With a persistent store attached, a draining shutdown also
+        checkpoints it (best effort): the WAL folds into the fragment
+        files so the next ``--store`` start mmap-loads without replay.
+        Recovery does not depend on this — a kill -9 merely replays.
+        """
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if wait and self.database.store is not None:
+            try:
+                self.database.checkpoint()
+            except Exception:  # pragma: no cover - disk full at shutdown
+                pass

@@ -166,6 +166,35 @@ class TestArithmetic:
         assert it.negate(ItemColumn.from_ints([4]), pool).to_values(pool) == [-4]
         assert it.negate(ItemColumn.from_doubles([1.5]), pool).to_values(pool) == [-1.5]
 
+    def test_promotion_is_per_row(self, pool):
+        # regression: a row's result type must not depend on its
+        # neighbours — the optimizer prunes rows, and pruning changed
+        # an int row's add result from float to int when promotion was
+        # decided column-wide over a mixed bool/int column
+        a = ItemColumn.from_values([1, False, 2.5], pool)
+        b = ItemColumn.from_ints([1, 1, 1])
+        out = it.arithmetic("add", a, b, pool)
+        assert out.kinds.tolist() == [K_INT, K_DBL, K_DBL]
+        assert out.to_values(pool) == [2, 1.0, 3.5]
+        neg = it.negate(a, pool)
+        assert neg.kinds.tolist() == [K_INT, K_DBL, K_DBL]
+        assert neg.to_values(pool) == [-1, 0.0, -2.5]
+
+    def test_per_row_div_by_zero(self, pool):
+        # only the exact-numeric row raises; a lone double row yields INF
+        zero = ItemColumn.from_ints([0])
+        dbl = it.arithmetic("div", ItemColumn.from_doubles([1.0]), zero, pool)
+        assert dbl.to_values(pool) == [math.inf]
+        with pytest.raises(DynamicError):
+            it.arithmetic("div", ItemColumn.from_ints([1]), zero, pool)
+
+    def test_idiv_returns_integer_for_doubles(self, pool):
+        out = it.arithmetic(
+            "idiv", ItemColumn.from_doubles([7.9]), ItemColumn.from_ints([2]), pool
+        )
+        assert out.kinds.tolist() == [K_INT]
+        assert out.to_values(pool) == [3]
+
     @given(
         st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=20),
         st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=20),

@@ -419,3 +419,68 @@ class TestChunkedQueryResponses:
             assert stats["errors"] == 0 and stats["timeouts"] == 0
         finally:
             service.shutdown()
+
+
+class TestStoreEndpoints:
+    """The persistence surface over HTTP: /checkpoint, /stats store
+    section, and checkpoint-on-shutdown."""
+
+    @pytest.fixture()
+    def store_server(self, tmp_path):
+        database = Database(store=str(tmp_path / "db.pfstore"))
+        database.load_document("r.xml", DOC)
+        service = QueryService(database, workers=1, deadline_seconds=10.0)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        yield base, service
+        httpd.shutdown()
+        httpd.server_close()
+        service.shutdown()
+        thread.join(timeout=10)
+
+    def test_stats_has_store_section(self, store_server):
+        base, _ = store_server
+        status, body = request(base, "/stats")
+        assert status == 200
+        assert body["store"]["documents"] == 1
+        assert body["store"]["wal_records"] == 0
+
+    def test_checkpoint_folds_the_wal(self, store_server):
+        base, service = store_server
+        status, _ = request(
+            base,
+            "/update",
+            "POST",
+            json.dumps({"query": "insert node <x/> into /r"}).encode("utf-8"),
+        )
+        assert status == 200
+        assert service.database.store.wal_bytes > 0
+        status, body = request(base, "/checkpoint", "POST")
+        assert status == 200
+        assert body["documents_rewritten"] == 1
+        assert service.database.store.wal_bytes == 0
+
+    def test_checkpoint_without_store_is_400(self, server):
+        base, _ = server
+        status, body = request(base, "/checkpoint", "POST")
+        assert status == 400
+        assert "store" in body["error"]
+
+    def test_shutdown_checkpoints(self, tmp_path):
+        database = Database(store=str(tmp_path / "db.pfstore"))
+        database.load_document("r.xml", DOC)
+        service = QueryService(database, workers=1)
+        service.execute_update("insert node <x/> into /r")
+        assert database.store.wal_bytes > 0
+        service.shutdown(wait=True)
+        assert database.store.wal_bytes == 0
+
+    def test_serve_parser_accepts_store(self, tmp_path):
+        from repro.server.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            ["--store", str(tmp_path / "s"), "--xmark", "0.001"]
+        )
+        assert args.store == str(tmp_path / "s")

@@ -1,0 +1,320 @@
+"""Differential tests for the persistent document store.
+
+The contract under test: a store-backed Database is observationally
+identical to a plain in-memory one — persist → reopen reproduces every
+fragment column for column (:func:`fragment_snapshot` decodes
+surrogates, so different intern orders still compare equal), query
+results match across the XMark suite, WAL replay reconstructs exactly
+the updated tree, and shred → persist → reopen → serialize is a
+fixpoint on hypothesis-generated documents.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import connect
+from repro.api.database import Database
+from repro.encoding.store import DocumentStore, fragment_snapshot
+from repro.errors import PathfinderError
+from repro.xmark import XMARK_QUERIES, generate_document
+from repro.xml.serializer import serialize_node, serialize_tree
+
+from tests.test_xml import _tree
+
+XML_A = (
+    '<site x="1"><a id="a1">hello<b>world</b></a>'
+    '<a id="a2">two</a><!--note--><?pi data?>tail</site>'
+)
+XML_B = "<r><z>zed</z><z>zed2</z></r>"
+
+
+def _store_dir(tmp_path) -> str:
+    return str(tmp_path / "db.pfstore")
+
+
+def _snap(db: Database, uri: str) -> dict:
+    return fragment_snapshot(db.arena, db.documents[uri])
+
+
+def _text(db: Database, uri: str) -> str:
+    return serialize_node(db.arena, db.documents[uri])
+
+
+class TestPersistReopen:
+    def test_reopen_snapshot_identical(self, tmp_path):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("a.xml", XML_A)
+        before = _snap(db, "a.xml")
+
+        db2 = Database.open(_store_dir(tmp_path))
+        assert sorted(db2.documents) == ["a.xml"]
+        assert db2.doc_epochs == db.doc_epochs
+        assert db2.default_document == "a.xml"
+        assert _snap(db2, "a.xml") == before
+        assert _text(db2, "a.xml") == _text(db, "a.xml")
+
+    def test_reopen_multiple_documents_and_default(self, tmp_path):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("a.xml", XML_A)
+        db.load_document("b.xml", XML_B)
+        db.set_default_document("b.xml")
+        snaps = {uri: _snap(db, uri) for uri in db.documents}
+
+        db2 = Database.open(_store_dir(tmp_path))
+        assert sorted(db2.documents) == ["a.xml", "b.xml"]
+        assert db2.default_document == "b.xml"
+        for uri, snap in snaps.items():
+            assert _snap(db2, uri) == snap, uri
+
+    def test_unload_persists(self, tmp_path):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("a.xml", XML_A)
+        db.load_document("b.xml", XML_B)
+        db.unload_document("b.xml")
+        db2 = Database.open(_store_dir(tmp_path))
+        assert sorted(db2.documents) == ["a.xml"]
+
+    def test_replace_persists_new_content(self, tmp_path):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("a.xml", XML_A)
+        db.replace_document("a.xml", "<site><only/></site>")
+        db2 = Database.open(_store_dir(tmp_path))
+        assert _text(db2, "a.xml") == "<site><only/></site>"
+        assert db2.doc_epochs == db.doc_epochs
+
+    def test_reopen_empty_store(self, tmp_path):
+        Database(store=_store_dir(tmp_path))
+        db2 = Database.open(_store_dir(tmp_path))
+        assert db2.documents == {}
+        assert db2.default_document is None
+
+    def test_queries_agree_after_reopen(self, tmp_path):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("a.xml", XML_A)
+        db2 = Database.open(_store_dir(tmp_path))
+        for query in ("count(//a)", "//a/@id", "/site/a[2]/text()", "//b"):
+            assert (
+                db.connect().execute(query).serialize()
+                == db2.connect().execute(query).serialize()
+            ), query
+
+    def test_fragment_files_are_memory_mapped(self, tmp_path):
+        """Reopen must mmap the column files, not read-and-copy them."""
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("a.xml", XML_A)
+        store = DocumentStore(_store_dir(tmp_path))
+        import numpy as np
+
+        frag = os.path.join(store.path, store.manifest["documents"]["a.xml"]["dir"])
+        nodes = store.manifest["documents"]["a.xml"]["nodes"]
+        mapped = store._mapped(os.path.join(frag, "kind.bin"), "u1", nodes)
+        assert isinstance(mapped, np.memmap)
+
+
+class TestXMarkDifferential:
+    @pytest.fixture(scope="class")
+    def doc_text(self):
+        return generate_document(0.001, seed=7)
+
+    def test_xmark_reopen_column_identical(self, tmp_path, doc_text):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("auction.xml", doc_text)
+        before = _snap(db, "auction.xml")
+        db2 = Database.open(_store_dir(tmp_path))
+        assert _snap(db2, "auction.xml") == before
+
+    def test_xmark_queries_agree_after_reopen(self, tmp_path, doc_text):
+        db = Database(store=_store_dir(tmp_path))
+        db.load_document("auction.xml", doc_text)
+        db2 = Database.open(_store_dir(tmp_path))
+        mem, persisted = db.connect(), db2.connect()
+        for name, query in XMARK_QUERIES.items():
+            assert (
+                mem.execute(query).serialize() == persisted.execute(query).serialize()
+            ), name
+
+
+#: update scripts that always apply against the XML_A default document;
+#: each runs against an in-memory and a store-backed database in lockstep
+UPDATE_SCRIPTS = (
+    'insert node <n why="new">text</n> into /site',
+    "insert node <first/> as first into /site",
+    "insert node (<u/>, 'mixed', <v/>) as last into /site",
+    "insert node <p/> before /site/*[1], insert node <q/> after /site/*[1]",
+    'insert node attribute marked {"yes"} into /site/a[1]',
+    "delete node /site/a[2]",
+    "delete nodes //b",
+    "delete node /site/a[1]/@id",
+    'replace node /site/a[1] with <na zip="02134">swapped<deep/></na>',
+    'replace value of node /site/a[1] with "flat"',
+    'replace value of node /site/@x with "9"',
+    'rename node /site/a[1] as "renamed"',
+    'rename node /site/@x as "y"',
+    "for $a in //a return insert node <tag/> into $a",
+    'insert node /site/a[1] into /site',  # copy an existing subtree
+)
+
+
+def _apply(db: Database, script: str):
+    try:
+        db.connect().execute_update(script)
+        return None
+    except PathfinderError as exc:
+        return type(exc).__name__
+
+
+class TestUpdateDurability:
+    def test_scripted_updates_replay_identically(self, tmp_path):
+        """Every WAL-logged update replays to the in-memory result.
+
+        An in-memory and a store-backed database run the same update
+        scripts in lockstep; after each script the store is reopened
+        into a *fresh* database (forcing WAL replay) and every column
+        of the document must match the in-memory arena.
+        """
+        mem = Database()
+        mem.load_document("a.xml", XML_A)
+        dur = Database(store=_store_dir(tmp_path))
+        dur.load_document("a.xml", XML_A)
+
+        for i, script in enumerate(UPDATE_SCRIPTS):
+            assert _apply(mem, script) == _apply(dur, script), script
+            assert _snap(mem, "a.xml") == _snap(dur, "a.xml"), script
+            reopened = Database.open(_store_dir(tmp_path))
+            assert _snap(reopened, "a.xml") == _snap(mem, "a.xml"), script
+            assert reopened.doc_epochs == dur.doc_epochs, script
+            if i == len(UPDATE_SCRIPTS) // 2:
+                # mid-sequence checkpoint: later replays start from the
+                # rewritten fragment, not the original shred
+                summary = dur.checkpoint()
+                assert summary["wal_bytes"] == 0
+
+    def test_replay_count_and_checkpoint_truncation(self, tmp_path):
+        dur = Database(store=_store_dir(tmp_path))
+        dur.load_document("a.xml", XML_A)
+        dur.connect().execute_update("insert node <n/> into /site")
+        dur.connect().execute_update("delete nodes //b")
+        assert dur.store.wal_bytes > 0
+
+        replayer = Database.open(_store_dir(tmp_path))
+        assert replayer.store.replayed == 2
+
+        dur.checkpoint()
+        assert dur.store.wal_bytes == 0
+        clean = Database.open(_store_dir(tmp_path))
+        assert clean.store.replayed == 0
+        assert _snap(clean, "a.xml") == _snap(dur, "a.xml")
+
+    def test_multi_document_update_is_one_wal_record(self, tmp_path):
+        dur = Database(store=_store_dir(tmp_path))
+        dur.load_document("a.xml", XML_A)
+        dur.load_document("b.xml", XML_B)
+        dur.connect().execute_update(
+            'insert node <xa/> into doc("a.xml")/site, '
+            'insert node <xb/> into doc("b.xml")/r'
+        )
+        assert dur.store.wal_records == 1
+        reopened = Database.open(_store_dir(tmp_path))
+        # one atomic record, two per-document deltas replayed from it
+        assert reopened.store.replayed == 2
+        for uri in ("a.xml", "b.xml"):
+            assert _snap(reopened, uri) == _snap(dur, uri), uri
+
+    def test_auto_checkpoint_threshold(self, tmp_path):
+        dur = Database(store=_store_dir(tmp_path), checkpoint_wal_bytes=1)
+        dur.load_document("a.xml", XML_A)
+        dur.connect().execute_update("insert node <n/> into /site")
+        # the WAL grew past the (tiny) threshold, so the update itself
+        # triggered a checkpoint and the log is already folded in
+        assert dur.store.wal_bytes == 0
+        assert dur.store.checkpoints == 1
+
+    def test_epoch_monotonic_across_restart(self, tmp_path):
+        dur = Database(store=_store_dir(tmp_path))
+        dur.load_document("a.xml", XML_A)
+        dur.connect().execute_update("insert node <n/> into /site")
+        high = dur.doc_epochs["a.xml"]
+        reopened = Database.open(_store_dir(tmp_path))
+        reopened.connect().execute_update("insert node <m/> into /site")
+        assert reopened.doc_epochs["a.xml"] > high
+
+
+class TestConnectWiring:
+    def test_connect_store_kwarg(self, tmp_path):
+        session = connect(store=_store_dir(tmp_path))
+        session.database.load_document("a.xml", XML_A)
+        db2 = Database.open(_store_dir(tmp_path))
+        assert sorted(db2.documents) == ["a.xml"]
+
+    def test_connect_rejects_store_with_database(self, tmp_path):
+        db = Database()
+        with pytest.raises(PathfinderError):
+            connect(database=db, store=_store_dir(tmp_path))
+
+    def test_store_accepts_instance(self, tmp_path):
+        store = DocumentStore(_store_dir(tmp_path))
+        db = Database(store=store)
+        assert db.store is store
+
+
+#: randomized update grammar: every op targets structure /r always has
+_RANDOM_OPS = (
+    'insert node <i a="1">t</i> into /r',
+    "insert node <j/> as first into /r",
+    "insert node 'txt' as last into /r",
+    "delete nodes /r/*[1]",
+    'rename node /r as "r"',
+    'replace value of node /r with "leveled"',
+    'insert node attribute k {"v"} into /r',
+    "delete nodes /r/@*",
+)
+
+
+class TestPropertyDifferential:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_tree())
+    def test_persist_reopen_serialize_fixpoint(self, tree):
+        """shred → persist → reopen → serialize reproduces the input."""
+        text = serialize_tree(tree)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "db.pfstore")
+            db = Database(store=path)
+            db.load_document("t.xml", text)
+            db2 = Database.open(path)
+            assert _text(db2, "t.xml") == _text(db, "t.xml") == text
+            assert _snap(db2, "t.xml") == _snap(db, "t.xml")
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(_RANDOM_OPS), st.booleans()),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_random_update_sequences_differential(self, steps):
+        """Random update sequences with interleaved reopens stay in
+        lockstep with a purely in-memory database."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "db.pfstore")
+            mem = Database()
+            mem.load_document("r.xml", "<r><s>base</s></r>")
+            dur = Database(store=path)
+            dur.load_document("r.xml", "<r><s>base</s></r>")
+            for script, reopen in steps:
+                assert _apply(mem, script) == _apply(dur, script), script
+                if reopen:
+                    dur = Database.open(path)
+                assert _snap(dur, "r.xml") == _snap(mem, "r.xml"), script

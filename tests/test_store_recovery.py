@@ -1,0 +1,220 @@
+"""Crash-recovery fault injection for the persistent document store.
+
+The store invokes its ``fault_hook`` at every file-system boundary
+(fragment write/fsync, manifest write/replace, WAL append/fsync/
+truncate, checkpoint begin/end).  The central test runs a fixed
+workload once cleanly to enumerate every fault point and record each
+consistent catalog state, then re-runs it once per fault point with an
+injected crash there, reopens the store cold, and asserts the recovered
+catalog — documents, epochs, default, full serialized content — equals
+one of the recorded consistent states.  An update is therefore always
+recovered to exactly its pre- or post-state, never a torn mix.
+
+Torn-tail tests corrupt the WAL directly (garbage bytes, bad CRC,
+half-written record) and assert recovery stops at the last intact
+record and truncates the damage away.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api.database import Database
+from repro.encoding.store import DocumentStore, StoreCrash, StoreError
+from repro.xml.serializer import serialize_node
+
+XML_A = (
+    '<site x="1"><a id="a1">hello<b>world</b></a>'
+    "<a id='a2'>two</a><!--note-->tail</site>"
+)
+XML_B = "<r><z>zed</z><z>zed2</z></r>"
+
+
+class FaultInjector:
+    """Raises :class:`StoreCrash` at the N-th fault point it sees."""
+
+    def __init__(self, crash_at: int | None = None):
+        self.crash_at = crash_at
+        self.count = 0
+        self.points: list[str] = []
+
+    def __call__(self, point: str) -> None:
+        self.count += 1
+        self.points.append(point)
+        if self.crash_at is not None and self.count == self.crash_at:
+            raise StoreCrash(f"injected crash at fault #{self.count} ({point})")
+
+
+def _steps():
+    """The workload: every store code path, in a deterministic order."""
+    return [
+        ("load a.xml", lambda db: db.load_document("a.xml", XML_A)),
+        (
+            "single-op update",
+            lambda db: db.connect().execute_update(
+                'insert node <n i="1">n</n> into /site'
+            ),
+        ),
+        (
+            "multi-op update",
+            lambda db: db.connect().execute_update(
+                "delete node /site/a[2], "
+                "insert node <m/> as first into /site, "
+                'rename node /site/a[1] as "aa"'
+            ),
+        ),
+        ("checkpoint", lambda db: db.checkpoint()),
+        (
+            "post-checkpoint update",
+            lambda db: db.connect().execute_update(
+                'replace value of node /site/aa with "v2"'
+            ),
+        ),
+        ("load b.xml", lambda db: db.load_document("b.xml", XML_B)),
+        (
+            "multi-document update",
+            lambda db: db.connect().execute_update(
+                'insert node <xa/> into doc("a.xml")/site, '
+                'insert node <xb/> into doc("b.xml")/r'
+            ),
+        ),
+        ("unload b.xml", lambda db: db.unload_document("b.xml")),
+    ]
+
+
+def _state(db: Database) -> dict:
+    """The full observable catalog: uri → (epoch, serialized tree)."""
+    return {
+        "default": db.default_document,
+        "docs": {
+            uri: (db.doc_epochs[uri], serialize_node(db.arena, root))
+            for uri, root in db.documents.items()
+        },
+    }
+
+
+def test_every_fault_point_recovers_to_a_consistent_state(tmp_path):
+    # pass 1, no crash: enumerate the fault points and record every
+    # consistent state the workload moves through
+    probe = FaultInjector()
+    clean = Database(store=DocumentStore(str(tmp_path / "clean"), fault_hook=probe))
+    states = [_state(clean)]
+    for _label, step in _steps():
+        step(clean)
+        states.append(_state(clean))
+    total = probe.count
+    assert total > 40  # sanity: the workload crosses many fault points
+
+    # pass 2..N+1: crash at each fault point, reopen cold, compare
+    for n in range(1, total + 1):
+        path = str(tmp_path / f"crash-{n}")
+        injector = FaultInjector(crash_at=n)
+        db = Database(store=DocumentStore(path, fault_hook=injector))
+        crashed_at = None
+        try:
+            for _label, step in _steps():
+                step(db)
+        except StoreCrash:
+            crashed_at = injector.points[-1]
+        assert crashed_at is not None, n  # every n <= total must fire
+
+        recovered = Database.open(path)
+        state = _state(recovered)
+        assert state in states, (n, crashed_at, state)
+
+        # recovery must also leave no unreferenced fragment directories
+        manifest = recovered.store.manifest["documents"]
+        live = {meta["dir"] for meta in manifest.values()}
+        docs_dir = os.path.join(recovered.store.path, "docs")
+        on_disk = {os.path.join("docs", entry) for entry in os.listdir(docs_dir)}
+        assert on_disk == live, (n, crashed_at)
+
+
+class TestTornWal:
+    def _populate(self, path: str) -> tuple[dict, dict]:
+        """A store with two un-checkpointed WAL records; returns the
+        consistent states after update 1 and update 2."""
+        db = Database(store=path)
+        db.load_document("a.xml", XML_A)
+        db.connect().execute_update("insert node <one/> into /site")
+        state1 = _state(db)
+        db.connect().execute_update("delete nodes //b")
+        state2 = _state(db)
+        assert db.store.wal_records == 2
+        return state1, state2
+
+    def test_garbage_tail_is_discarded_and_truncated(self, tmp_path):
+        path = str(tmp_path / "db")
+        _state1, state2 = self._populate(path)
+        wal = os.path.join(path, "wal.log")
+        intact = os.path.getsize(wal)
+        with open(wal, "ab") as handle:
+            handle.write(b'{"crc": 1, "rec"')  # a torn, newline-less append
+        recovered = Database.open(path)
+        assert _state(recovered) == state2
+        assert os.path.getsize(wal) == intact  # damage truncated away
+
+    def test_bad_crc_ends_the_log(self, tmp_path):
+        path = str(tmp_path / "db")
+        _state1, state2 = self._populate(path)
+        wal = os.path.join(path, "wal.log")
+        bogus = {"crc": 12345, "rec": {"seq": 3, "docs": []}}
+        with open(wal, "ab") as handle:
+            handle.write((json.dumps(bogus) + "\n").encode("utf-8"))
+        recovered = Database.open(path)
+        assert _state(recovered) == state2
+
+    def test_half_written_record_recovers_to_previous_update(self, tmp_path):
+        path = str(tmp_path / "db")
+        state1, _state2 = self._populate(path)
+        wal = os.path.join(path, "wal.log")
+        with open(wal, "rb") as handle:
+            raw = handle.read()
+        first_line_end = raw.index(b"\n") + 1
+        cut = first_line_end + (len(raw) - first_line_end) // 2
+        with open(wal, "wb") as handle:
+            handle.write(raw[:cut])  # record 2 torn mid-line
+        recovered = Database.open(path)
+        assert _state(recovered) == state1
+
+    def test_updates_continue_after_truncated_recovery(self, tmp_path):
+        path = str(tmp_path / "db")
+        state1, _state2 = self._populate(path)
+        wal = os.path.join(path, "wal.log")
+        with open(wal, "rb") as handle:
+            raw = handle.read()
+        with open(wal, "wb") as handle:
+            handle.write(raw[: raw.index(b"\n") + 1])
+        recovered = Database.open(path)
+        assert _state(recovered) == state1
+        recovered.connect().execute_update("insert node <again/> into /site")
+        final = _state(recovered)
+        assert _state(Database.open(path)) == final
+
+
+class TestStoreErrors:
+    def test_unsupported_format_raises(self, tmp_path):
+        path = str(tmp_path / "db")
+        Database(store=path).load_document("a.xml", XML_A)
+        manifest = os.path.join(path, "MANIFEST.json")
+        with open(manifest, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["format"] = 99
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        with pytest.raises(StoreError):
+            Database.open(path)
+
+    def test_checkpoint_without_store_raises(self):
+        from repro.errors import PathfinderError
+
+        with pytest.raises(PathfinderError):
+            Database().checkpoint()
+
+    def test_load_fragment_unknown_uri_raises(self, tmp_path):
+        store = DocumentStore(str(tmp_path / "db"))
+        from repro.encoding.arena import NodeArena
+
+        with pytest.raises(StoreError):
+            store.load_fragment(NodeArena(), "nope.xml")

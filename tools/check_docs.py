@@ -33,6 +33,7 @@ DOC_FILES = (
     "docs/ARCHITECTURE.md",
     "docs/algebra.md",
     "docs/serving.md",
+    "docs/storage.md",
     "docs/updates.md",
 )
 
