@@ -12,14 +12,22 @@ XML parse) versus cold re-shredding the same document.  Standalone mode
 emits ``BENCH_storage.json``::
 
     python benchmarks/bench_storage.py [scale [reps [json_path]]]
+    python benchmarks/bench_storage.py 0.01 --page-budget 262144
 
 and warns when the mmap reopen drops below 10x the cold re-shred at
 XMark scale 0.01.  The pytest variant runs at a CI-friendly scale
 (override with ``STORE_BENCH_SCALE``) with a floor scaled to match.
+
+The paging rows time the larger-than-RAM path: a lazy (paged) open
+versus the eager adoption, the first-query latency each way (the paged
+one pays its fault-in there), and a budget sweep — repeatable
+``--page-budget BYTES`` or, by default, ¼ and ½ of the catalog's column
+bytes — recording per-budget query time and fault/eviction counts.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -117,6 +125,89 @@ def run_store_bench(
     }
 
 
+#: the first query a freshly opened database serves; a paged open pays
+#: its fault-in here, an eager open paid it at adoption time
+FIRST_QUERY = "count(//item)"
+
+#: the budget-sweep workload: touches elements, attributes and text
+SWEEP_QUERIES = ("count(//item)", "//person/@id", "count(//text())")
+
+
+def run_paging_bench(
+    scale: float = DEFAULT_STORE_SCALE,
+    reps: int = DEFAULT_REPS,
+    budgets: list[int] | None = None,
+) -> dict:
+    """Time paged vs eager open and first query; sweep eviction budgets."""
+    text = generate_document(scale)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.pfstore")
+        Database(store=path).load_document("auction.xml", text)
+        Database.open(path)  # warm the page cache: both sides read warm
+        unlimited = 1 << 40
+
+        def first_query(budget: int | None) -> float:
+            if budget is None:
+                db = Database.open(path)
+            else:
+                db = Database.open(path, page_budget_bytes=budget)
+            session = db.connect()
+            t0 = time.perf_counter()
+            session.execute(FIRST_QUERY).serialize()
+            return time.perf_counter() - t0
+
+        eager_open_s = _best(lambda: Database.open(path), reps)
+        paged_open_s = _best(
+            lambda: Database.open(path, page_budget_bytes=unlimited), reps
+        )
+        first_eager_s = min(first_query(None) for _ in range(reps))
+        first_paged_s = min(first_query(unlimited) for _ in range(reps))
+
+        probe = Database.open(path, page_budget_bytes=unlimited)
+        tracked = probe.paging_status()["tracked_bytes"]
+        if budgets is None:
+            budgets = [tracked // 4, tracked // 2]
+        sweep = []
+        for budget in budgets:
+            db = Database.open(path, page_budget_bytes=budget)
+            session = db.connect()
+            t0 = time.perf_counter()
+            for query in SWEEP_QUERIES:
+                session.execute(query).serialize()
+            queries_s = time.perf_counter() - t0
+            status = db.paging_status()
+            sweep.append(
+                {
+                    "budget_bytes": budget,
+                    "queries_s": queries_s,
+                    "faults": status["faults"],
+                    "evictions": status["evictions"],
+                    "resident_bytes": status["resident_bytes"],
+                }
+            )
+    return {
+        "tracked_bytes": tracked,
+        "eager_open_s": eager_open_s,
+        "paged_open_s": paged_open_s,
+        "first_query_eager_s": first_eager_s,
+        "first_query_paged_s": first_paged_s,
+        "sweep": sweep,
+    }
+
+
+def test_paged_open_is_lazy_and_first_query_pays_faults():
+    """The paged open must defer materialisation to the first query."""
+    scale = float(os.environ.get("STORE_BENCH_SCALE", "0.0005"))
+    row = run_paging_bench(scale=scale, reps=2)
+    assert row["paged_open_s"] < row["eager_open_s"] * 1.5, row
+    assert row["first_query_paged_s"] > 0
+    for entry in row["sweep"]:
+        assert entry["faults"] > 0, entry
+        assert entry["budget_bytes"] < row["tracked_bytes"]
+    # the sub-budget sweeps must actually have evicted something
+    assert any(entry["evictions"] > 0 for entry in row["sweep"]), row
+
+
 def test_mmap_reopen_faster_than_reshred():
     """Reopening a store must beat cold re-shredding by a wide margin.
 
@@ -132,9 +223,23 @@ def test_mmap_reopen_faster_than_reshred():
 
 
 def main(argv: list[str]) -> int:
-    scale = float(argv[1]) if len(argv) > 1 else DEFAULT_STORE_SCALE
-    reps = int(argv[2]) if len(argv) > 2 else DEFAULT_REPS
-    json_path = argv[3] if len(argv) > 3 else DEFAULT_JSON
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_storage.py",
+        description="persistent store + paging benchmarks (E3)",
+    )
+    parser.add_argument("scale", nargs="?", type=float, default=DEFAULT_STORE_SCALE)
+    parser.add_argument("reps", nargs="?", type=int, default=DEFAULT_REPS)
+    parser.add_argument("json_path", nargs="?", default=DEFAULT_JSON)
+    parser.add_argument(
+        "--page-budget",
+        action="append",
+        type=int,
+        metavar="BYTES",
+        help="eviction budget(s) to sweep (repeatable; default ¼ and ½ "
+        "of the catalog's column bytes)",
+    )
+    args = parser.parse_args(argv[1:])
+    scale, reps, json_path = args.scale, args.reps, args.json_path
     print("\n=== persistent store: mmap reopen vs cold re-shred ===")
     print(f"(XMark scale {scale}, best of {reps})")
     row = run_store_bench(scale=scale, reps=reps)
@@ -144,6 +249,21 @@ def main(argv: list[str]) -> int:
         f"{'mmap reopen':>16} | {row['reopen_s']:>9.4f}\n"
         f"{'speedup':>16} | {row['reopen_speedup']:>8.1f}x"
     )
+    print("\n=== paging: lazy open + eviction-budget sweep ===")
+    paging = run_paging_bench(scale=scale, reps=reps, budgets=args.page_budget)
+    row["paging"] = paging
+    print(
+        f"{'open (eager)':>20} | {paging['eager_open_s']:>9.4f}\n"
+        f"{'open (paged)':>20} | {paging['paged_open_s']:>9.4f}\n"
+        f"{'first query (eager)':>20} | {paging['first_query_eager_s']:>9.4f}\n"
+        f"{'first query (paged)':>20} | {paging['first_query_paged_s']:>9.4f}"
+    )
+    for entry in paging["sweep"]:
+        print(
+            f"  budget {entry['budget_bytes']:>10} B | "
+            f"{entry['queries_s']:.4f}s | {entry['faults']} faults, "
+            f"{entry['evictions']} evictions"
+        )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as fh:
             json.dump(row, fh, indent=2)

@@ -48,6 +48,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import contextmanager
 
 from repro.api.concurrency import RWLock, SingleFlight
 from repro.api.plan_cache import CachedPlan, PlanCache, plan_documents
@@ -80,8 +81,18 @@ class Database:
         plan_cache_size: int = 128,
         store: "DocumentStore | str | None" = None,
         checkpoint_wal_bytes: int | None = 4 * 1024 * 1024,
+        page_budget_bytes: int | None = None,
     ):
+        if page_budget_bytes is not None and store is None:
+            raise PathfinderError(
+                "page_budget_bytes needs a persistent store to page from "
+                "(pass store=PATH)"
+            )
         self.arena = NodeArena()
+        #: eviction budget for mmap-paged fragments (None = eager arena)
+        self.page_budget_bytes = page_budget_bytes
+        if page_budget_bytes is not None:
+            self.arena.enable_paging(page_budget_bytes)
         self.documents: dict[str, int] = {}
         self.doc_epochs: dict[str, int] = {}
         self.plan_cache = PlanCache(plan_cache_size)
@@ -114,6 +125,7 @@ class Database:
         path: "DocumentStore | str",
         plan_cache_size: int = 128,
         checkpoint_wal_bytes: int | None = 4 * 1024 * 1024,
+        page_budget_bytes: int | None = None,
     ) -> "Database":
         """Open (or create) a persistent database at ``path``.
 
@@ -123,11 +135,17 @@ class Database:
         :class:`~repro.encoding.arena.TreeDelta` records in the WAL tail
         are replayed on top, leaving the catalog exactly as the last
         fsynced update saw it.
+
+        With ``page_budget_bytes`` set, adoption is *lazy*: fragments
+        stay mmap-cold until a query touches them and are evicted LRU
+        once resident bytes exceed the budget — the catalog may be
+        several times larger than the budget (docs/storage.md).
         """
         return cls(
             plan_cache_size=plan_cache_size,
             store=path,
             checkpoint_wal_bytes=checkpoint_wal_bytes,
+            page_budget_bytes=page_budget_bytes,
         )
 
     def _recover_locked(self) -> None:
@@ -147,9 +165,14 @@ class Database:
                 delta = materialize_delta(
                     self.arena, self.documents[uri], part["delta"]
                 )
+                old_root = self.documents[uri]
                 self.documents[uri] = self.arena.rebuild_with_delta(
-                    self.documents[uri], delta
+                    old_root, delta
                 )
+                # the superseded fragment is unreachable from the
+                # catalog; untrack it so the pager never re-faults a
+                # backing the next checkpoint garbage-collects
+                self.arena.retire_fragment(old_root)
                 self.doc_epochs[uri] = part["new_epoch"]
                 store.dirty.add(uri)
                 store.replayed += 1
@@ -167,14 +190,20 @@ class Database:
             self._default_document = next(iter(sorted(self.documents)))
             self._default_explicit = False
 
+    @contextmanager
     def read_locked(self):
         """Context manager holding the catalog lock shared.
 
         Execution paths (``PreparedQuery.execute``, ``Session.explain``)
         use this so no catalog mutation lands mid-query; reentrant per
-        thread, so nested API calls are safe.
+        thread, so nested API calls are safe.  A page scope opens with
+        the shared hold: every paged fragment the reader touches stays
+        pinned against eviction until the scope closes (eviction-vs-
+        readers, see :mod:`repro.api.concurrency`).
         """
-        return self._rwlock.read_locked()
+        with self._rwlock.read_locked():
+            with self.arena.page_scope():
+                yield self
 
     # ------------------------------------------------------------ documents
     @property
@@ -254,6 +283,12 @@ class Database:
         else:
             new_default, explicit = self._default_document, self._default_explicit
         if self.store is not None:
+            # a replace supersedes the old fragment's backing files:
+            # materialize-and-untrack it before the store GCs them, or
+            # the pager could later fault from a deleted directory
+            old_root = self.documents.get(uri)
+            if old_root is not None:
+                self.arena.retire_fragment(old_root)
             # persist before publishing: a failed write leaves the
             # catalog unchanged (the shredded rows are harmless orphans
             # in the append-only arena)
@@ -265,6 +300,12 @@ class Database:
                 xml_bytes=xml_bytes,
                 default_document=new_default,
             )
+            if self.arena.pager is not None:
+                # the freshly persisted fragment files can now back the
+                # in-arena rows: track them so the span is evictable
+                self.arena.register_paged_backing(
+                    root, self.store.open_paged(self.arena.pool, uri)
+                )
         self.documents[uri] = root
         self.doc_epochs[uri] = epoch
         self._estimator = None
@@ -304,8 +345,12 @@ class Database:
         """
         from repro.compiler.updates import collect_update_deltas
 
-        with self._rwlock.write_locked():
+        with self._rwlock.write_locked(), self.arena.page_scope():
             t0 = time.perf_counter()
+            # delta collection and serialization read arena rows through
+            # many paths; pin everything resident for the duration (the
+            # scope exit trims back to budget)
+            self.arena.ensure_all()
             deltas, applied = collect_update_deltas(
                 core_module,
                 self.arena,
@@ -333,6 +378,7 @@ class Database:
                         ]
                     }
                 )
+            old_roots = {uri: self.documents[uri] for uri in deltas}
             new_roots = {
                 uri: self.arena.rebuild_with_delta(self.documents[uri], delta)
                 for uri, delta in deltas.items()
@@ -341,6 +387,9 @@ class Database:
                 self.documents[uri] = new_root
                 self.doc_epochs[uri] = new_epochs[uri]
                 self.plan_cache.invalidate_document(uri)
+                # the superseded fragment is unreachable; untrack it so
+                # the next checkpoint's GC cannot strand a cold span
+                self.arena.retire_fragment(old_roots[uri])
             if new_roots:
                 self._estimator = None
             if (
@@ -376,13 +425,30 @@ class Database:
             return self._checkpoint_locked()
 
     def _checkpoint_locked(self) -> dict:
-        return self.store.checkpoint(
+        dirty = {u for u in self.store.dirty if u in self.documents}
+        result = self.store.checkpoint(
             self.arena, self.documents, self.doc_epochs, self._default_document
         )
+        if self.arena.pager is not None:
+            # checkpoint rewrote the fragment files of every dirty
+            # document; the rebuilt in-arena spans now have durable
+            # backings again, so re-track them as evictable
+            for uri in sorted(dirty):
+                self.arena.register_paged_backing(
+                    self.documents[uri],
+                    self.store.open_paged(self.arena.pool, uri),
+                )
+        return result
 
     def store_status(self) -> dict | None:
         """The attached store's operational summary (None when absent)."""
         return None if self.store is None else self.store.status()
+
+    def paging_status(self) -> dict | None:
+        """The pager's operational summary — budget, resident/mapped
+        bytes, fault/eviction counters (None when paging is off)."""
+        pager = self.arena.pager
+        return None if pager is None else pager.status()
 
     def unload_document(self, uri: str) -> None:
         """Remove a document from the catalog and invalidate its plans.
@@ -393,7 +459,7 @@ class Database:
         with self._rwlock.write_locked():
             if uri not in self.documents:
                 raise PathfinderError(f"document {uri!r} is not loaded")
-            del self.documents[uri]
+            root = self.documents.pop(uri)
             del self.doc_epochs[uri]
             self._estimator = None
             self.plan_cache.invalidate_document(uri)
@@ -401,6 +467,9 @@ class Database:
                 self._default_document = None
                 self._default_explicit = False
             if self.store is not None:
+                # removal deletes the backing files: stop paging from
+                # them first (materializes the span if it was cold)
+                self.arena.retire_fragment(root)
                 self.store.remove_document(uri, self._default_document)
 
     def storage_report(self) -> StorageReport:
@@ -414,7 +483,10 @@ class Database:
             return [
                 {
                     "uri": uri,
-                    "nodes": int(self.arena.size[root]) + 1,
+                    # subtree_nodes answers from the paging record for a
+                    # cold fragment — listing the catalog must not fault
+                    # every document in
+                    "nodes": self.arena.subtree_nodes(root),
                     "epoch": self.doc_epochs[uri],
                     "default": uri == self._default_document,
                 }
@@ -579,6 +651,7 @@ def connect(
     disabled_passes: frozenset[str] | tuple = frozenset(),
     backend: str = "numpy",
     store: "DocumentStore | str | None" = None,
+    page_budget_bytes: int | None = None,
 ) -> "Session":
     """Open a session — the front door of the API.
 
@@ -588,15 +661,18 @@ def connect(
     **persistent** database: documents load from the store's
     memory-mapped fragments (replaying any write-ahead-log tail) and
     every load/update is crash-safely persisted — see ``docs/storage.md``.
-    ``disabled_passes`` names optimizer rewrite passes this session
-    should skip; ``backend`` picks the evaluator ("numpy" or "sqlhost").
+    ``page_budget_bytes`` (requires ``store``) caps resident column
+    bytes: fragments page in lazily from the store's mmaps and are
+    evicted LRU past the budget.  ``disabled_passes`` names optimizer
+    rewrite passes this session should skip; ``backend`` picks the
+    evaluator ("numpy" or "sqlhost").
     """
     if database is None:
-        database = Database(store=store)
-    elif store is not None:
+        database = Database(store=store, page_budget_bytes=page_budget_bytes)
+    elif store is not None or page_budget_bytes is not None:
         raise PathfinderError(
-            "pass store= when creating the Database, not to connect() "
-            "on an existing one"
+            "pass store=/page_budget_bytes= when creating the Database, "
+            "not to connect() on an existing one"
         )
     return database.connect(
         use_staircase=use_staircase,

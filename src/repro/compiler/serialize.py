@@ -48,6 +48,7 @@ class NodeHandle:
     def string_value(self) -> str:
         """The node's XPath string-value (concatenated text content)."""
         if self.is_attribute:
+            self.arena.ensure_attrs((self.node,))
             return self.arena.pool.value(int(self.arena.attr_value[self.node]))
         return self.arena.pool.value(self.arena.string_value_id(self.node))
 
@@ -78,19 +79,22 @@ def iter_result_values(table: Table, arena: NodeArena):
     after a few items decodes at most one block)."""
     items = ordered_items(table)
     pool = arena.pool
-    for lo in range(0, len(items), _VALUE_BLOCK):
-        kinds = items.kinds[lo : lo + _VALUE_BLOCK]
-        data = items.data[lo : lo + _VALUE_BLOCK]
-        pooled, strings = it.pooled_strings(kinds, data, pool)
-        for kind, payload, is_pooled in zip(kinds.tolist(), data.tolist(), pooled):
-            if kind == K_NODE:
-                yield NodeHandle(arena, payload)
-            elif kind == K_ATTR:
-                yield NodeHandle(arena, payload, is_attribute=True)
-            elif is_pooled:
-                yield next(strings)
-            else:
-                yield it.decode_item(kind, payload, pool)
+    # a result consumed after the catalog lock dropped must stay readable:
+    # the page scope pins every fragment touched until iteration finishes
+    with arena.page_scope():
+        for lo in range(0, len(items), _VALUE_BLOCK):
+            kinds = items.kinds[lo : lo + _VALUE_BLOCK]
+            data = items.data[lo : lo + _VALUE_BLOCK]
+            pooled, strings = it.pooled_strings(kinds, data, pool)
+            for kind, payload, is_pooled in zip(kinds.tolist(), data.tolist(), pooled):
+                if kind == K_NODE:
+                    yield NodeHandle(arena, payload)
+                elif kind == K_ATTR:
+                    yield NodeHandle(arena, payload, is_attribute=True)
+                elif is_pooled:
+                    yield next(strings)
+                else:
+                    yield it.decode_item(kind, payload, pool)
 
 
 def result_values(table: Table, arena: NodeArena) -> list:
@@ -116,30 +120,33 @@ def iter_serialized_chunks(
     buf: list[str] = []
     buf_len = 0
     prev_atomic = False
-    for kind, payload, is_pooled in zip(
-        items.kinds.tolist(), items.data.tolist(), pooled
-    ):
-        if kind == K_NODE:
-            parts = scan_parts(arena, payload)
-            prev_atomic = False
-        elif kind == K_ATTR:
-            parts = [serialize_attribute(arena, payload)]
-            prev_atomic = False
-        else:
-            text = next(strings) if is_pooled else it.lexical(kind, payload, pool)
-            parts = [escape_text(text)]
-            if prev_atomic:
-                parts.insert(0, " ")
-            prev_atomic = True
-        for part in parts:
-            buf.append(part)
-            buf_len += len(part)
-            if buf_len >= chunk_chars:
-                yield "".join(buf)
-                buf.clear()
-                buf_len = 0
-    if buf:
-        yield "".join(buf)
+    # chunked serialization outlives the catalog lock (chunked HTTP): pin
+    # every fragment read until the stream is drained or abandoned
+    with arena.page_scope():
+        for kind, payload, is_pooled in zip(
+            items.kinds.tolist(), items.data.tolist(), pooled
+        ):
+            if kind == K_NODE:
+                parts = scan_parts(arena, payload)
+                prev_atomic = False
+            elif kind == K_ATTR:
+                parts = [serialize_attribute(arena, payload)]
+                prev_atomic = False
+            else:
+                text = next(strings) if is_pooled else it.lexical(kind, payload, pool)
+                parts = [escape_text(text)]
+                if prev_atomic:
+                    parts.insert(0, " ")
+                prev_atomic = True
+            for part in parts:
+                buf.append(part)
+                buf_len += len(part)
+                if buf_len >= chunk_chars:
+                    yield "".join(buf)
+                    buf.clear()
+                    buf_len = 0
+        if buf:
+            yield "".join(buf)
 
 
 def serialize_result(table: Table, arena: NodeArena) -> str:

@@ -50,11 +50,14 @@ NODE_KIND_NAMES = {
 class _Buf:
     """A growable int64 array with amortised O(1) appends."""
 
-    __slots__ = ("_data", "_len")
+    __slots__ = ("_data", "_len", "on_grow")
 
     def __init__(self, capacity: int = 1024):
         self._data = np.zeros(capacity, dtype=np.int64)
         self._len = 0
+        #: optional callback fired after a reallocation (the fragment
+        #: pager re-releases cold spans the growth copy re-resided)
+        self.on_grow = None
 
     def __len__(self) -> int:
         return self._len
@@ -69,6 +72,18 @@ class _Buf:
             grown = np.zeros(cap, dtype=np.int64)
             grown[: self._len] = self._data[: self._len]
             self._data = grown
+            if self.on_grow is not None:
+                self.on_grow()
+
+    def grow(self, extra: int) -> None:
+        """Extend the length by ``extra`` rows without writing them.
+
+        The reserved tail reads as zeros until filled — this is how a
+        paged fragment's span exists before its first fault-in (calloc
+        pages cost no RSS until touched).
+        """
+        self._reserve(extra)
+        self._len += extra
 
     def append(self, value: int) -> int:
         self._reserve(1)
@@ -166,6 +181,172 @@ class NodeArena:
         #: so concurrent readers never mix index generations
         self._indices: tuple | None = None
         self._strvalue_cache: dict[int, int] = {}
+        #: demand pager for mmap-backed fragments (None = fully eager);
+        #: see :meth:`enable_paging` and :mod:`repro.encoding.paging`
+        self.pager = None
+        self._frag_bases_cache: np.ndarray | None = None
+
+    # -------------------------------------------------------------- paging
+    def enable_paging(self, budget_bytes: int | None) -> None:
+        """Attach a :class:`~repro.encoding.paging.FragmentPager`.
+
+        Fragments adopted with ``paged=True`` afterwards stay
+        mmap-resident until first touch and are evicted LRU once the
+        resident tracked bytes exceed ``budget_bytes`` (``None`` = fault
+        lazily but never evict).  Must be called before any paged
+        adoption; enabling is idempotent per arena lifetime.
+        """
+        from repro.encoding.paging import FragmentPager
+
+        with self.mutation_lock:
+            if self.pager is not None:  # pragma: no cover - defensive
+                self.pager.budget_bytes = budget_bytes
+                return
+            self.pager = FragmentPager(self, budget_bytes)
+            for buf in (
+                self._kind, self._size, self._level, self._frag,
+                self._parent, self._name, self._value,
+                self._attr_owner, self._attr_name, self._attr_value,
+            ):
+                buf.on_grow = self.pager.note_buffer_growth
+
+    def _frag_bases(self) -> np.ndarray:
+        """``frag_base`` as a cached array (for row→fragment searches
+        that must not read the possibly-cold ``frag`` column)."""
+        bases = self._frag_bases_cache
+        if bases is None or len(bases) != len(self.frag_base):
+            bases = np.asarray(self.frag_base, dtype=np.int64)
+            self._frag_bases_cache = bases
+        return bases
+
+    def adopt_fragment(self, source, paged: bool = False) -> int:
+        """Adopt a persisted fragment (``PagedFragment``); returns its
+        root row.
+
+        The fragment's row and attribute spans are *reserved* (length
+        extended, nothing written).  With ``paged=True`` and a pager
+        attached, the span is filled only on first touch; otherwise it
+        is materialised immediately — straight from the memmapped
+        columns into the flat buffers, the single-copy eager path.
+        """
+        from repro.encoding.paging import fill_adopted_span
+
+        with self.mutation_lock:
+            fid = self.begin_fragment()
+            base = self.num_nodes
+            n, m = source.nodes, source.attrs
+            for buf in (self._kind, self._size, self._level, self._frag,
+                        self._parent, self._name, self._value):
+                buf.grow(n)
+            for buf in (self._attr_owner, self._attr_name, self._attr_value):
+                buf.grow(m)
+            abase = self.num_attrs - m
+            self._version += 1
+            if self.pager is not None:
+                self.pager.register(fid, base, abase, source, hot=False)
+                if not paged:
+                    self.ensure_rows((base,))
+            else:
+                fill_adopted_span(self, base, abase, source, fid)
+            return base
+
+    def register_paged_backing(self, root: int, source) -> bool:
+        """Track an already-materialised fragment as evictable.
+
+        Called after a document fragment is (re)written to the store:
+        its in-arena span is now byte-identical to what a fault-in from
+        ``source`` would produce, so the pager may evict and re-fault
+        it.  Returns False (leaving the fragment untracked, i.e. pinned
+        in memory) when the span does not match the backing — a
+        conservative refusal, never an error.
+        """
+        pager = self.pager
+        if pager is None:
+            return False
+        with self.mutation_lock:
+            bases = self._frag_bases()
+            fid = int(np.searchsorted(bases, int(root), side="right") - 1)
+            if fid < 0 or int(bases[fid]) != int(root):
+                return False
+            if pager.record_for_base(int(root)) is not None:
+                return False
+            n = int(self.size[root]) + 1
+            if n != source.nodes:
+                return False
+            ids, _ = self.attrs_in_span(int(root), int(root) + n)
+            m = len(ids)
+            if m != source.attrs:
+                return False
+            if m and not (
+                int(ids[0]) + m - 1 == int(ids[-1])
+                and bool(np.all(np.diff(ids) == 1))
+            ):
+                return False
+            abase = int(ids[0]) if m else 0
+            pager.register(fid, int(root), abase, source, hot=True)
+            return True
+
+    def retire_fragment(self, row: int) -> None:
+        """Untrack (and materialise) the paged fragment owning ``row``.
+
+        Must run before the fragment's backing files are deleted — the
+        span keeps serving stale-but-valid rows to old readers and
+        whole-arena scans forever after.  No-op without a pager or for
+        untracked rows.
+        """
+        if self.pager is not None:
+            self.pager.retire_rows(row)
+
+    def ensure_rows(self, rows) -> None:
+        """Fault in the paged fragments owning ``rows`` (no-op when the
+        arena is eager) — the column-access seam every reader of node
+        columns goes through before indexing them."""
+        pager = self.pager
+        if pager is not None:
+            pager.ensure_rows(rows)
+
+    def ensure_attrs(self, attr_ids) -> None:
+        """Like :meth:`ensure_rows` for attribute-table readers."""
+        pager = self.pager
+        if pager is not None:
+            pager.ensure_attrs(attr_ids)
+
+    def ensure_all(self) -> None:
+        """Fault in every paged fragment (whole-arena scans such as the
+        SQL-host export)."""
+        pager = self.pager
+        if pager is not None:
+            pager.ensure_all()
+
+    def page_scope(self):
+        """Context manager pinning every fragment touched inside it (one
+        per query execution / streamed serialization); a no-op context
+        for eager arenas."""
+        pager = self.pager
+        if pager is not None:
+            return pager.scope()
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    def subtree_nodes(self, root: int) -> int:
+        """Node count of the fragment rooted at ``root`` without
+        faulting it in (catalog listings must not page anything)."""
+        pager = self.pager
+        if pager is not None:
+            rec = pager.record_for_base(int(root))
+            if rec is not None:
+                return rec.source.nodes
+        return int(self.size[root]) + 1
+
+    def logical_column(self, name: str) -> np.ndarray:
+        """One node/attribute column with cold paged spans patched in
+        from their mmap sources — residency-independent reads for the
+        optimizer statistics and the navigation indices."""
+        pager = self.pager
+        if pager is None:
+            return getattr(self, name)
+        return pager.patched_column(name)
 
     # ------------------------------------------------------------- columns
     @property
@@ -327,13 +508,17 @@ class NodeArena:
             snap = self._indices
             if snap is not None and snap[0] == self._version:
                 return snap
-            parent = self.parent
+            # logical columns: cold paged spans are patched in from
+            # their mmap sources, so the indices are correct regardless
+            # of residency — and fault-in/eviction never invalidate them
+            # (they write/clear exactly the values patched here)
+            parent = self.logical_column("parent")
             child_order = np.argsort(parent, kind="stable")
             child_parents = parent[child_order]
-            owner = self.attr_owner
+            owner = self.logical_column("attr_owner")
             attr_order = np.argsort(owner, kind="stable")
             attr_owners_sorted = owner[attr_order]
-            text_rows = np.nonzero(self.kind == NK_TEXT)[0]
+            text_rows = np.nonzero(self.logical_column("kind") == NK_TEXT)[0]
             snap = (
                 self._version,
                 child_order,
@@ -390,14 +575,18 @@ class NodeArena:
     # ------------------------------------------------------------ structure
     def frag_end(self, rows: np.ndarray) -> np.ndarray:
         """Last row id (inclusive) of each row's fragment."""
-        bases = np.asarray(self.frag_base, dtype=np.int64)
-        b = bases[self.frag[rows]]
+        b = self.root_of(rows)
         return b + self.size[b]
 
     def root_of(self, rows: np.ndarray) -> np.ndarray:
-        """Fragment root (document node for loaded documents)."""
-        bases = np.asarray(self.frag_base, dtype=np.int64)
-        return bases[self.frag[rows]]
+        """Fragment root (document node for loaded documents).
+
+        Found by binary search on the fragment bases rather than via the
+        ``frag`` column, so it works for rows of cold paged fragments
+        too (their ``frag`` entries are unwritten until fault-in).
+        """
+        bases = self._frag_bases()
+        return bases[np.searchsorted(bases, rows, side="right") - 1]
 
     # --------------------------------------------------------- string value
     def string_value_id(self, node: int) -> int:
@@ -405,6 +594,7 @@ class NodeArena:
         cached = self._strvalue_cache.get(node)
         if cached is not None:
             return cached
+        self.ensure_rows((node,))
         kind = int(self.kind[node])
         if kind in (NK_TEXT, NK_COMMENT, NK_PI):
             sid = int(self.value[node])
@@ -459,6 +649,12 @@ class NodeArena:
         value_id)`` — a new text child, or ``('attr', attr_id)`` — an
         attribute to copy onto the new element.  Returns the new root row.
         """
+        copy_rows = [payload for tag, payload in content if tag == "copy"]
+        if copy_rows:
+            self.ensure_rows(copy_rows)
+        attr_ids = [payload for tag, payload in content if tag == "attr"]
+        if attr_ids:
+            self.ensure_attrs(attr_ids)
         with self.mutation_lock:
             self.begin_fragment()
             total = 1
@@ -535,6 +731,10 @@ class NodeArena:
         returned root — an epoch bump, not a re-shred of XML text.  Old
         rows stay valid for readers that started before the swap.
         """
+        # the whole old document is read during the re-emit; fault it in
+        # up front (updates materialise their targets by design — the
+        # rebuilt fragment is dirty and unevictable until checkpointed)
+        self.ensure_rows((root,))
         kinds: list[int] = []
         sizes: list[int] = []
         levels: list[int] = []

@@ -88,6 +88,7 @@ def axis_region_holds(arena, v: int, w: int, axis: Axis) -> bool:
     arithmetic on row ids is exactly the paper's pre/post plane test.
     Intentionally scalar and slow — used by tests and the naive baseline.
     """
+    arena.ensure_rows((v, w))
     size = arena.size
     if axis is Axis.SELF:
         return w == v

@@ -1,0 +1,453 @@
+"""Lazy fragment paging: mmap-cold columns under an eviction budget.
+
+The paper's core bet is that the pre/size encoding lives in flat columns
+the OS can page (Section 3.1); this module makes the arena honour it for
+catalogs larger than RAM.  A :class:`FragmentPager` tracks *paged*
+fragments — document fragments adopted from a persistent store whose
+column data still lives in the store's memory-mapped files
+(:class:`~repro.encoding.store.PagedFragment`).  For each one the arena
+has merely **reserved** its row/attribute span (zero pages, nothing
+written); the pager materialises the span on first touch (a *fault*) and
+releases it again (an *eviction*) when the resident bytes of all tracked
+fragments exceed ``budget_bytes``:
+
+* **fault-in** copies the memmapped columns into the reserved arena
+  span exactly once: parents/owners rebased by the span base, local
+  string surrogates translated through the fragment's ``gsids`` table.
+  The translation is deterministic, so a re-fault after eviction writes
+  byte-identical values — row and attribute ids stay stable for the
+  fragment's whole life.
+* **eviction** picks the least-recently-touched unpinned fragment and
+  returns its span to the OS with ``madvise(MADV_DONTNEED)`` over the
+  page-aligned interior of each column slice (best effort; on platforms
+  without ``madvise`` the accounting still works, the RSS just does not
+  shrink).  Only *clean* fragments are tracked: anything rebuilt by a
+  :class:`~repro.encoding.arena.TreeDelta` is untracked (pinned in
+  memory) until a checkpoint re-registers its freshly written backing.
+* **pinning** protects readers from eviction: every touch inside a
+  :meth:`scope` (one per executing query / streaming serialization,
+  see ``Database.read_locked``) pins the fragment until the scope
+  exits, so a result can stream long after the catalog lock dropped.
+  While scopes are live the budget may transiently overshoot; the
+  scope exit trims back down.
+
+Locking: the pager deliberately shares the arena's ``mutation_lock``
+(one reentrant lock) instead of introducing a second one — faults and
+evictions write/release arena spans, index rebuilds read them, and a
+single lock means there is no ordering to get wrong between them.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import mmap as _mmap_mod
+import sys
+from contextlib import contextmanager
+
+import numpy as np
+
+#: resident arena bytes per node row (7 int64 columns in the flat bufs)
+NODE_RESIDENT_BYTES = 7 * 8
+#: resident arena bytes per attribute row (3 int64 columns)
+ATTR_RESIDENT_BYTES = 3 * 8
+
+_PAGE = _mmap_mod.PAGESIZE
+_MADV_DONTNEED = 4
+_libc = None
+if sys.platform.startswith("linux"):  # pragma: no branch - CI is linux
+    try:
+        _libc = ctypes.CDLL(None, use_errno=True)
+        _libc.madvise.argtypes = (
+            ctypes.c_void_p,
+            ctypes.c_size_t,
+            ctypes.c_int,
+        )
+    except OSError:  # pragma: no cover - exotic libc
+        _libc = None
+
+
+def release_span(arr: np.ndarray, lo: int, hi: int) -> int:
+    """``madvise(MADV_DONTNEED)`` the page-aligned interior of a slice.
+
+    Returns the number of bytes advised (0 when the platform cannot, or
+    the aligned interior is empty).  Partial edge pages are left alone —
+    they may be shared with a neighbouring fragment's rows.
+    """
+    if _libc is None or hi <= lo:
+        return 0
+    item = arr.itemsize
+    addr = arr.ctypes.data + lo * item
+    end = arr.ctypes.data + hi * item
+    start = -(-addr // _PAGE) * _PAGE
+    stop = (end // _PAGE) * _PAGE
+    if stop <= start:
+        return 0
+    if _libc.madvise(ctypes.c_void_p(start), ctypes.c_size_t(stop - start),
+                     _MADV_DONTNEED) != 0:  # pragma: no cover - kernel refusal
+        return 0
+    return stop - start
+
+
+def fill_adopted_span(arena, base: int, abase: int, source, fid: int) -> None:
+    """Materialise ``source`` into the arena span reserved at ``base``.
+
+    One pass per column, casting straight from the memmap into the flat
+    buffers (no intermediate int64 copies): parents and attribute owners
+    are rebased by ``base``, name/value surrogates translated through
+    ``source.gsids``.  Deterministic — a re-fault after eviction writes
+    the identical bytes.  Caller holds ``arena.mutation_lock``.
+    """
+    n, m = source.nodes, source.attrs
+    cols = source.cols
+    gsids = source.gsids
+    arena._kind.view()[base : base + n] = cols["kind"]
+    arena._size.view()[base : base + n] = cols["size"]
+    arena._level.view()[base : base + n] = cols["level"]
+    arena._frag.view()[base : base + n] = fid
+
+    parent = cols["parent"].astype(np.int64)
+    mask = parent >= 0
+    parent[mask] += base
+    parent[~mask] = -1
+    arena._parent.view()[base : base + n] = parent
+
+    for cname, buf in (("name", arena._name), ("value", arena._value)):
+        local = cols[cname]
+        out = buf.view()[base : base + n]
+        out[:] = -1
+        mask = local >= 0
+        out[mask] = gsids[local[mask]]
+
+    if m:
+        acols = source.acols
+        owner = arena._attr_owner.view()[abase : abase + m]
+        owner[:] = acols["attr_owner"]
+        owner += base
+        for cname, buf in (
+            ("attr_name", arena._attr_name),
+            ("attr_value", arena._attr_value),
+        ):
+            local = acols[cname]
+            out = buf.view()[abase : abase + m]
+            out[:] = -1
+            mask = local >= 0
+            out[mask] = gsids[local[mask]]
+
+
+class PageScope:
+    """One reader's pin set: fragments touched while the scope is open
+    stay resident until it closes (see ``PageScopeRegistry``)."""
+
+    __slots__ = ("pinned",)
+
+    def __init__(self):
+        self.pinned: set[int] = set()
+
+
+class _FragmentRecord:
+    """Pager-side state of one tracked (paged) fragment."""
+
+    __slots__ = (
+        "fid", "base", "abase", "source", "bytes",
+        "hot", "pins", "last_touch", "touches",
+    )
+
+    def __init__(self, fid: int, base: int, abase: int, source):
+        self.fid = fid
+        self.base = base
+        self.abase = abase
+        self.source = source
+        self.bytes = (
+            source.nodes * NODE_RESIDENT_BYTES
+            + source.attrs * ATTR_RESIDENT_BYTES
+        )
+        self.hot = False
+        self.pins = 0
+        self.last_touch = 0
+        self.touches = 0
+
+
+class FragmentPager:
+    """Demand paging + LRU eviction over an arena's tracked fragments.
+
+    One per :class:`~repro.encoding.arena.NodeArena` (created by
+    ``NodeArena.enable_paging``).  All state is guarded by the arena's
+    ``mutation_lock`` (see the module docstring for why it is shared).
+    """
+
+    def __init__(self, arena, budget_bytes: int | None, scopes=None):
+        from repro.api.concurrency import PageScopeRegistry
+
+        self.arena = arena
+        self.budget_bytes = budget_bytes
+        self._lock = arena.mutation_lock
+        self._records: dict[int, _FragmentRecord] = {}
+        self._scopes = scopes if scopes is not None else PageScopeRegistry()
+        self.resident_bytes = 0
+        self.faults = 0
+        self.evictions = 0
+        self.touches = 0
+        self._clock = 0
+        #: set (lock-free) when a flat buffer reallocated: the copy made
+        #: cold spans resident again, so they need re-releasing
+        self._needs_release = False
+
+    # ------------------------------------------------------------- tracking
+    def register(
+        self, fid: int, base: int, abase: int, source, hot: bool = False
+    ) -> _FragmentRecord:
+        """Track one paged fragment (``hot`` = its span is already
+        materialised in the arena, e.g. a freshly persisted document)."""
+        with self._lock:
+            rec = _FragmentRecord(int(fid), int(base), int(abase), source)
+            self._records[rec.fid] = rec
+            if hot:
+                rec.hot = True
+                self.resident_bytes += rec.bytes
+                self._touch_locked(rec)
+                self._evict_locked(protect={rec.fid})
+            return rec
+
+    def record_for_base(self, base: int) -> _FragmentRecord | None:
+        """The tracked record whose fragment starts at row ``base``."""
+        with self._lock:
+            fid = self._fid_of_row(int(base))
+            rec = self._records.get(fid)
+            return rec if rec is not None and rec.base == int(base) else None
+
+    def retire_rows(self, row: int) -> None:
+        """Stop tracking the fragment containing ``row``, materialising
+        it first.
+
+        Used when a fragment's backing files are about to be garbage
+        collected (document replaced / unloaded / updated): the span
+        must hold valid data forever after, since whole-arena scanners
+        (``export_arena``, the navigation indices) still read it.
+        """
+        with self._lock:
+            rec = self._records.get(self._fid_of_row(int(row)))
+            if rec is None:
+                return
+            if not rec.hot:
+                self._fault_locked(rec)
+            self.resident_bytes -= rec.bytes
+            del self._records[rec.fid]
+
+    # -------------------------------------------------------------- ensure
+    def ensure_rows(self, rows) -> None:
+        """Fault in (and touch/pin) every tracked fragment owning a row
+        in ``rows``; then trim back to budget."""
+        if not self._records:
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        with self._lock:
+            bases = self.arena._frag_bases()
+            fids = np.unique(np.searchsorted(bases, rows, side="right") - 1)
+            self._ensure_fids_locked(fids)
+
+    def ensure_attrs(self, attr_ids) -> None:
+        """Like :meth:`ensure_rows` for attribute ids."""
+        if not self._records:
+            return
+        attr_ids = np.asarray(attr_ids, dtype=np.int64)
+        if attr_ids.size == 0:
+            return
+        with self._lock:
+            fids = []
+            for rec in self._records.values():
+                if rec.source.attrs and np.any(
+                    (attr_ids >= rec.abase)
+                    & (attr_ids < rec.abase + rec.source.attrs)
+                ):
+                    fids.append(rec.fid)
+            if fids:
+                self._ensure_fids_locked(np.asarray(fids, dtype=np.int64))
+
+    def ensure_all(self) -> None:
+        """Fault in every tracked fragment (whole-arena scans)."""
+        if not self._records:
+            return
+        with self._lock:
+            self._ensure_fids_locked(
+                np.asarray(list(self._records), dtype=np.int64)
+            )
+
+    def _ensure_fids_locked(self, fids: np.ndarray) -> None:
+        touched: set[int] = set()
+        for fid in fids.tolist():
+            rec = self._records.get(int(fid))
+            if rec is None:
+                continue
+            self._touch_locked(rec)
+            touched.add(rec.fid)
+            if not rec.hot:
+                self._fault_locked(rec)
+        if self._needs_release:
+            self._rerelease_cold_locked()
+        if touched:
+            self._evict_locked(protect=touched)
+
+    def _touch_locked(self, rec: _FragmentRecord) -> None:
+        self._clock += 1
+        rec.last_touch = self._clock
+        rec.touches += 1
+        self.touches += 1
+        scope = self._scopes.current()
+        if scope is not None and rec.fid not in scope.pinned:
+            scope.pinned.add(rec.fid)
+            rec.pins += 1
+
+    # --------------------------------------------------------- fault/evict
+    def _fault_locked(self, rec: _FragmentRecord) -> None:
+        fill_adopted_span(self.arena, rec.base, rec.abase, rec.source, rec.fid)
+        rec.hot = True
+        self.resident_bytes += rec.bytes
+        self.faults += 1
+
+    def _release_locked(self, rec: _FragmentRecord) -> None:
+        rec.hot = False
+        self.resident_bytes -= rec.bytes
+        self.evictions += 1
+        self._advise_cold_locked(rec)
+
+    def _advise_cold_locked(self, rec: _FragmentRecord) -> None:
+        arena = self.arena
+        n, m = rec.source.nodes, rec.source.attrs
+        for buf in (arena._kind, arena._size, arena._level, arena._frag,
+                    arena._parent, arena._name, arena._value):
+            release_span(buf._data, rec.base, rec.base + n)
+        if m:
+            for buf in (arena._attr_owner, arena._attr_name,
+                        arena._attr_value):
+                release_span(buf._data, rec.abase, rec.abase + m)
+
+    def _rerelease_cold_locked(self) -> None:
+        """After a flat-buffer reallocation, re-advise every cold span
+        (the growth copy made their garbage pages resident again)."""
+        self._needs_release = False
+        for rec in self._records.values():
+            if not rec.hot:
+                self._advise_cold_locked(rec)
+
+    def _evict_locked(self, protect=frozenset()) -> None:
+        budget = self.budget_bytes
+        if budget is None:
+            return
+        while self.resident_bytes > budget:
+            victim = None
+            for rec in self._records.values():
+                if rec.hot and rec.pins == 0 and rec.fid not in protect:
+                    if victim is None or rec.last_touch < victim.last_touch:
+                        victim = rec
+            if victim is None:
+                break
+            self._release_locked(victim)
+
+    def evict_to_budget(self) -> None:
+        """Trim resident tracked fragments back under the budget."""
+        with self._lock:
+            self._evict_locked()
+
+    def evict_all(self) -> int:
+        """Evict every unpinned hot fragment (stress-test hook).
+
+        Returns how many fragments were released.
+        """
+        with self._lock:
+            victims = [
+                r for r in self._records.values() if r.hot and r.pins == 0
+            ]
+            for rec in victims:
+                self._release_locked(rec)
+            return len(victims)
+
+    # -------------------------------------------------------------- scopes
+    @contextmanager
+    def scope(self):
+        """Pin-scope for one reader: fragments touched inside stay
+        resident until exit, when pins drop and the budget is enforced."""
+        scope = self._scopes.push()
+        try:
+            yield scope
+        finally:
+            self._scopes.pop(scope)
+            with self._lock:
+                for fid in scope.pinned:
+                    rec = self._records.get(fid)
+                    if rec is not None and rec.pins > 0:
+                        rec.pins -= 1
+                scope.pinned.clear()
+                self._evict_locked()
+
+    # ------------------------------------------------------------- columns
+    def patched_column(self, name: str) -> np.ndarray:
+        """A *logical* copy of one arena column: cold tracked spans are
+        filled from their memmapped sources (rebased/translated exactly
+        as a fault would), so navigation indices and statistics can be
+        built without materialising anything."""
+        with self._lock:
+            arena = self.arena
+            view = getattr(arena, name)
+            cold = [r for r in self._records.values() if not r.hot]
+            if not cold:
+                return view
+            out = view.copy()
+            for rec in cold:
+                src = rec.source
+                n, base = src.nodes, rec.base
+                if name in ("kind", "size", "level"):
+                    out[base : base + n] = src.cols[name]
+                elif name == "frag":
+                    out[base : base + n] = rec.fid
+                elif name == "parent":
+                    seg = src.cols["parent"].astype(np.int64)
+                    mask = seg >= 0
+                    seg[mask] += base
+                    seg[~mask] = -1
+                    out[base : base + n] = seg
+                elif name in ("name", "value"):
+                    local = src.cols[name]
+                    seg = np.full(n, -1, dtype=np.int64)
+                    mask = local >= 0
+                    seg[mask] = src.gsids[local[mask]]
+                    out[base : base + n] = seg
+                elif name == "attr_owner":
+                    m = src.attrs
+                    if m:
+                        out[rec.abase : rec.abase + m] = (
+                            src.acols["attr_owner"].astype(np.int64) + base
+                        )
+                else:  # pragma: no cover - callers pass known columns
+                    raise KeyError(name)
+            return out
+
+    # --------------------------------------------------------------- misc
+    def _fid_of_row(self, row: int) -> int:
+        bases = self.arena._frag_bases()
+        return int(np.searchsorted(bases, row, side="right") - 1)
+
+    def note_buffer_growth(self) -> None:
+        """Called (lock-free) when a flat buffer reallocates; cold spans
+        are re-released on the next ensure/evict."""
+        self._needs_release = True
+
+    def status(self) -> dict:
+        """Counters for the ``/stats`` ``"paging"`` section."""
+        with self._lock:
+            records = list(self._records.values())
+            hot = sum(1 for r in records if r.hot)
+            return {
+                "budget_bytes": self.budget_bytes,
+                "resident_bytes": self.resident_bytes,
+                "mapped_bytes": sum(r.source.disk_bytes for r in records),
+                "tracked_bytes": sum(r.bytes for r in records),
+                "fragments": len(records),
+                "hot_fragments": hot,
+                "cold_fragments": len(records) - hot,
+                "pinned_fragments": sum(1 for r in records if r.pins > 0),
+                "faults": self.faults,
+                "evictions": self.evictions,
+                "touches": self.touches,
+            }

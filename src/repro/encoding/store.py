@@ -119,6 +119,32 @@ def _fsync_dir(path: str) -> None:
         os.close(fd)
 
 
+class PagedFragment:
+    """A memory-mapped, relocatable view of one persisted fragment.
+
+    ``cols``/``acols`` are read-only numpy memmaps of the column files
+    (root-relative rows, fragment-local surrogates) and ``gsids`` maps
+    local surrogate ``i`` to the shared pool's id for the same string —
+    everything :func:`~repro.encoding.paging.fill_adopted_span` needs to
+    materialise the fragment at any arena base, as often as the pager
+    faults it back in.  Holding one keeps the store files mapped (and,
+    on POSIX, readable even after the directory is garbage collected);
+    it never holds decoded column data.
+    """
+
+    __slots__ = ("uri", "nodes", "attrs", "cols", "acols", "gsids",
+                 "disk_bytes")
+
+    def __init__(self, uri, nodes, attrs, cols, acols, gsids, disk_bytes):
+        self.uri = uri
+        self.nodes = nodes
+        self.attrs = attrs
+        self.cols = cols
+        self.acols = acols
+        self.gsids = gsids
+        self.disk_bytes = disk_bytes
+
+
 class DocumentStore:
     """One store directory: fragments, manifest, WAL (see module docs).
 
@@ -185,6 +211,7 @@ class DocumentStore:
         references it.
         """
         lo = int(root)
+        arena.ensure_rows((lo,))  # snapshotting a cold fragment faults it
         hi = lo + int(arena.size[lo]) + 1
         pool = arena.pool
         name = np.asarray(arena.name[lo:hi], dtype=np.int64).copy()
@@ -264,14 +291,16 @@ class DocumentStore:
             return np.empty(0, dtype=dtype)
         return np.memmap(path, dtype=dtype, mode="r", shape=(count,))
 
-    def load_fragment(self, arena: NodeArena, uri: str) -> int:
-        """mmap one manifest fragment and adopt it into ``arena``.
+    def open_paged(self, pool, uri: str) -> "PagedFragment":
+        """mmap one manifest fragment as a :class:`PagedFragment` view.
 
-        Column files are memory-mapped (demand-paged; no XML parse) and
-        appended to the arena as one bulk, contiguous fragment with
-        parents/owners rebased and the local pool re-interned into the
-        shared :class:`~repro.relational.items.StringPool`.  Returns the
-        document's new root row.
+        The column files are memory-mapped (demand-paged, nothing read
+        yet except the string pool, whose distinct strings are interned
+        into ``pool`` so the fragment's surrogate translation table
+        ``gsids`` is ready before any fault).  This is the relocatable
+        half of adoption; :meth:`NodeArena.adopt_fragment
+        <repro.encoding.arena.NodeArena.adopt_fragment>` does the span
+        reservation and (lazy or eager) materialisation.
         """
         meta = self.manifest["documents"].get(uri)
         if meta is None:
@@ -298,38 +327,35 @@ class DocumentStore:
             strings = [
                 blob[off[i] : off[i + 1]].decode("utf-8") for i in range(k)
             ]
-            gsids = arena.pool.intern_many(strings)
+            gsids = np.asarray(pool.intern_many(strings), dtype=np.int64)
         else:
             gsids = np.empty(0, dtype=np.int64)
+        return PagedFragment(
+            uri=uri,
+            nodes=int(n),
+            attrs=int(m),
+            cols=cols,
+            acols=acols,
+            gsids=gsids,
+            disk_bytes=persisted_fragment_bytes(
+                meta["nodes"], meta["attrs"], meta["strings"],
+                meta["blob_bytes"],
+            ),
+        )
 
-        def unmap(local: np.ndarray) -> np.ndarray:
-            out = np.asarray(local, dtype=np.int64).copy()
-            mask = out >= 0
-            out[mask] = gsids[out[mask]]
-            return out
+    def load_fragment(self, arena: NodeArena, uri: str) -> int:
+        """mmap one manifest fragment and adopt it into ``arena``.
 
-        with arena.mutation_lock:
-            arena.begin_fragment()
-            first = arena.num_nodes
-            parent = np.asarray(cols["parent"], dtype=np.int64).copy()
-            mask = parent >= 0
-            parent[mask] += first
-            parent[~mask] = -1
-            base = arena.append_nodes(
-                np.asarray(cols["kind"], dtype=np.int64),
-                np.asarray(cols["size"], dtype=np.int64),
-                np.asarray(cols["level"], dtype=np.int64),
-                parent,
-                unmap(cols["name"]),
-                unmap(cols["value"]),
-            )
-            if m:
-                arena.append_attrs(
-                    np.asarray(acols["attr_owner"], dtype=np.int64) + base,
-                    unmap(acols["attr_name"]),
-                    unmap(acols["attr_value"]),
-                )
-        return base
+        Column files are memory-mapped (demand-paged; no XML parse) and
+        adopted as one contiguous fragment, cast straight from the
+        memmaps into the flat buffers — a single copy, with nothing but
+        the (small) translation table kept alive afterwards.  With a
+        pager attached the adoption is *lazy* instead: the span stays
+        cold until first touch.  Returns the document's new root row.
+        """
+        return arena.adopt_fragment(
+            self.open_paged(arena.pool, uri), paged=arena.pager is not None
+        )
 
     # ------------------------------------------------------------ manifest
     def commit_manifest(self) -> None:
@@ -609,6 +635,7 @@ def _attr_pair_to_json(arena: NodeArena, pair) -> list:
 
 def _span_attr_ids(arena: NodeArena, root: int) -> np.ndarray:
     lo = int(root)
+    arena.ensure_rows((lo,))
     return arena.attrs_in_span(lo, lo + int(arena.size[lo]) + 1)[0]
 
 
@@ -718,6 +745,7 @@ def fragment_snapshot(arena: NodeArena, root: int) -> dict:
     differential suites assert this across persist/reopen/replay.
     """
     lo = int(root)
+    arena.ensure_rows((lo,))
     hi = lo + int(arena.size[lo]) + 1
     pool = arena.pool
     decode = lambda sid: pool.value(int(sid)) if sid >= 0 else None  # noqa: E731

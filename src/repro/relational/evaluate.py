@@ -565,6 +565,9 @@ def _eval_docroot(node: alg.DocRoot, inputs, ctx) -> Table:
     row = ctx.documents.get(node.uri)
     if row is None:
         raise DynamicError(f"document {node.uri!r} is not loaded", code="err:FODC0002")
+    # the per-query paging choke point: fault the document's fragment in
+    # before any step kernel touches its rows
+    ctx.arena.ensure_rows((row,))
     return Table(
         {
             "iter": np.asarray([1], dtype=np.int64),

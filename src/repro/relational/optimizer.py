@@ -189,13 +189,15 @@ class CardinalityEstimator:
     @classmethod
     def from_database(cls, arena, documents: dict[str, int]) -> "CardinalityEstimator":
         """Seed an estimator from a node arena and its document catalog."""
+        # statistics must not fault cold fragments in: subtree_nodes and
+        # logical_column answer from the paging records/memmaps directly
         doc_rows = {
-            uri: float(arena.size[root]) + 1.0 for uri, root in documents.items()
+            uri: float(arena.subtree_nodes(root)) for uri, root in documents.items()
         }
         total = sum(doc_rows.values())
         child_fanout, descendant_fanout = 4.0, 16.0
         if total > 1 and arena.num_nodes:
-            level = arena.level
+            level = arena.logical_column("level")
             depth = float(level.max()) if len(level) else 1.0
             depth = max(depth, 1.0)
             # nodes ≈ fanout^depth  ⇒  fanout ≈ nodes^(1/depth)

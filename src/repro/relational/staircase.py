@@ -120,6 +120,9 @@ def staircase_step(
     nodes = np.asarray(nodes, dtype=np.int64)
     if len(iters) == 0:
         return _EMPTY, _EMPTY
+    # axes never leave the context nodes' fragments, so faulting those
+    # fragments in covers every row (and attribute) this step can read
+    arena.ensure_rows(nodes)
     iters, nodes = _sorted_distinct_contexts(iters, nodes)
 
     if axis is Axis.ATTRIBUTE:
@@ -260,6 +263,7 @@ def naive_step(
     if axis is Axis.ATTRIBUTE:
         # attributes live outside the region plane; share the index path
         return staircase_step(arena, iters, nodes, axis, test)
+    arena.ensure_rows(nodes)
     out_i: list[np.ndarray] = []
     out_r: list[np.ndarray] = []
     bases = np.asarray(arena.frag_base, dtype=np.int64)

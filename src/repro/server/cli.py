@@ -16,7 +16,10 @@ automatic numpy fallback).
 ``--store DIR`` attaches a persistent document store (docs/storage.md):
 documents already persisted under DIR are recovered (mmap + WAL replay)
 before any ``--doc``/``--xmark`` load, updates are logged for crash
-recovery, and a graceful shutdown checkpoints the log.
+recovery, and a graceful shutdown checkpoints the log.  Adding
+``--page-budget BYTES`` makes that recovery *lazy*: fragments stay
+memory-mapped until queried and are evicted LRU past the budget, so the
+served catalog may be much larger than RAM.
 """
 
 from __future__ import annotations
@@ -74,6 +77,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "missing; existing documents are recovered before --doc/--xmark)",
     )
     parser.add_argument(
+        "--page-budget",
+        type=int,
+        metavar="BYTES",
+        help="resident-column byte budget for lazy mmap paging (requires "
+        "--store; fragments over budget are evicted LRU, see "
+        "docs/storage.md)",
+    )
+    parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default="numpy",
@@ -95,10 +106,16 @@ def serve_main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_serve_parser().parse_args(argv)
     try:
-        database = Database(plan_cache_size=args.plan_cache, store=args.store)
+        database = Database(
+            plan_cache_size=args.plan_cache,
+            store=args.store,
+            page_budget_bytes=args.page_budget,
+        )
         if args.store is not None and database.documents:
             recovered = ", ".join(sorted(database.documents))
             print(f"recovered from {args.store}: {recovered}", file=out)
+        if args.page_budget is not None:
+            print(f"paging: budget {args.page_budget} bytes", file=out)
         # with a store attached a --doc/--xmark URI may already exist from
         # recovery; replace semantics make the restart idempotent
         replace = args.store is not None

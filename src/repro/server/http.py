@@ -311,10 +311,12 @@ def serve(
         signal.signal(signal.SIGINT, request_shutdown)
         signal.signal(signal.SIGTERM, request_shutdown)
     if out is not None:
+        budget = service.database.page_budget_bytes
+        paging = f", {budget}B page budget" if budget is not None else ""
         print(
             f"serving on http://{host}:{server.server_address[1]} "
             f"({service.workers} workers, "
-            f"{service.deadline_seconds:g}s deadline)",
+            f"{service.deadline_seconds:g}s deadline{paging})",
             file=out,
             flush=True,
         )

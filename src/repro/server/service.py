@@ -393,6 +393,9 @@ class QueryService:
         store = self.database.store_status()
         if store is not None:
             payload["store"] = store
+        paging = self.database.paging_status()
+        if paging is not None:
+            payload["paging"] = paging
         return payload
 
     # ------------------------------------------------------------ shutdown

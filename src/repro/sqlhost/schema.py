@@ -155,6 +155,9 @@ def export_arena(arena: NodeArena, roots=None) -> sqlite3.Connection:
     con = sqlite3.connect(":memory:")
     con.executescript(DDL)
     _register_functions(con)
+    # the export scans whole columns (attribute owners in particular are
+    # read unrestricted): fault every paged fragment in first
+    arena.ensure_all()
     pool = arena.pool
     if roots is None:
         node_ids = np.arange(arena.num_nodes, dtype=np.int64)

@@ -31,6 +31,7 @@ def serialize_node(arena: NodeArena, node: int) -> str:
 
 def serialize_attribute(arena: NodeArena, attr_id: int) -> str:
     """Serialise a standalone attribute as ``name="value"``."""
+    arena.ensure_attrs((attr_id,))
     name = arena.pool.value(int(arena.attr_name[attr_id]))
     value = arena.pool.value(int(arena.attr_value[attr_id]))
     return f'{name}="{escape_attr(value)}"'
@@ -45,6 +46,7 @@ def scan_parts(arena: NodeArena, node: int) -> list[str]:
     bounded chunks without ever assembling the full text.
     """
     start = int(node)
+    arena.ensure_rows((start,))
     stop = start + int(arena.size[start]) + 1
     kinds = arena.kind[start:stop].tolist()
     sizes = arena.size[start:stop].tolist()
@@ -123,6 +125,7 @@ def serialize_node_recursive(arena: NodeArena, node: int) -> str:
 
 def _serialize_into(arena: NodeArena, node: int, out: list[str]) -> None:
     pool = arena.pool
+    arena.ensure_rows((node,))
     kind = int(arena.kind[node])
     if kind == NK_TEXT:
         out.append(escape_text(pool.value(int(arena.value[node]))))

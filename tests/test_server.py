@@ -484,3 +484,75 @@ class TestStoreEndpoints:
             ["--store", str(tmp_path / "s"), "--xmark", "0.001"]
         )
         assert args.store == str(tmp_path / "s")
+
+
+class TestPagedServer:
+    """Serving a catalog bigger than the paging budget: lazy recovery,
+    the /stats paging section, and byte-budget CLI wiring."""
+
+    @pytest.fixture()
+    def paged_server(self, tmp_path):
+        seed = Database(store=str(tmp_path / "db.pfstore"))
+        seed.load_document("r.xml", DOC)
+        seed.load_document("s.xml", "<s><w>9</w></s>")
+        # a budget far below the two fragments' column bytes: every
+        # request pages its document in and evicts the other
+        database = Database.open(str(tmp_path / "db.pfstore"), page_budget_bytes=64)
+        service = QueryService(database, workers=1, deadline_seconds=10.0)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        yield base, service
+        httpd.shutdown()
+        httpd.server_close()
+        service.shutdown()
+        thread.join(timeout=10)
+
+    def test_stats_has_paging_section(self, paged_server):
+        base, _ = paged_server
+        status, body = request(base, "/stats")
+        assert status == 200
+        paging = body["paging"]
+        assert paging["budget_bytes"] == 64
+        assert paging["fragments"] == 2
+        for key in (
+            "resident_bytes",
+            "mapped_bytes",
+            "faults",
+            "evictions",
+            "pinned_fragments",
+        ):
+            assert key in paging, key
+
+    def test_stats_has_no_paging_section_when_off(self, server):
+        base, _ = server
+        _, body = request(base, "/stats")
+        assert "paging" not in body
+
+    def test_queries_succeed_under_tiny_budget(self, paged_server):
+        base, _ = paged_server
+        status, body = post_query(base, {"query": "/r/v/text()"})
+        assert status == 200
+        assert body["result"] == "123"
+        status, body = post_query(base, {"query": 'doc("s.xml")/s/w/text()'})
+        assert status == 200
+        assert body["result"] == "9"
+        _, stats = request(base, "/stats")
+        assert stats["paging"]["faults"] >= 2
+
+    def test_documents_listing_stays_cold(self, paged_server):
+        base, service = paged_server
+        status, body = request(base, "/documents")
+        assert status == 200
+        assert {d["uri"] for d in body["documents"]} == {"r.xml", "s.xml"}
+        assert service.database.paging_status()["faults"] == 0
+
+    def test_serve_parser_accepts_page_budget(self, tmp_path):
+        from repro.server.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            ["--store", str(tmp_path / "s"), "--page-budget", "65536"]
+        )
+        assert args.page_budget == 65536
+        assert build_serve_parser().parse_args([]).page_budget is None

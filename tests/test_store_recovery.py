@@ -94,11 +94,15 @@ def _state(db: Database) -> dict:
     }
 
 
-def test_every_fault_point_recovers_to_a_consistent_state(tmp_path):
+@pytest.mark.parametrize("page_budget", [None, 4096], ids=["eager", "paged"])
+def test_every_fault_point_recovers_to_a_consistent_state(tmp_path, page_budget):
     # pass 1, no crash: enumerate the fault points and record every
     # consistent state the workload moves through
     probe = FaultInjector()
-    clean = Database(store=DocumentStore(str(tmp_path / "clean"), fault_hook=probe))
+    clean = Database(
+        store=DocumentStore(str(tmp_path / "clean"), fault_hook=probe),
+        page_budget_bytes=page_budget,
+    )
     states = [_state(clean)]
     for _label, step in _steps():
         step(clean)
@@ -110,7 +114,10 @@ def test_every_fault_point_recovers_to_a_consistent_state(tmp_path):
     for n in range(1, total + 1):
         path = str(tmp_path / f"crash-{n}")
         injector = FaultInjector(crash_at=n)
-        db = Database(store=DocumentStore(path, fault_hook=injector))
+        db = Database(
+            store=DocumentStore(path, fault_hook=injector),
+            page_budget_bytes=page_budget,
+        )
         crashed_at = None
         try:
             for _label, step in _steps():
@@ -119,7 +126,7 @@ def test_every_fault_point_recovers_to_a_consistent_state(tmp_path):
             crashed_at = injector.points[-1]
         assert crashed_at is not None, n  # every n <= total must fire
 
-        recovered = Database.open(path)
+        recovered = Database.open(path, page_budget_bytes=page_budget)
         state = _state(recovered)
         assert state in states, (n, crashed_at, state)
 
