@@ -8,8 +8,13 @@ threads (each waits for its response before sending the next request),
 with N matched to the server's worker count so the offered concurrency
 equals the service capacity.
 
-Reported per worker count (default sweep 1/2/4/8): aggregate throughput
-(requests/second) and the p50/p99 response-time percentiles.  The plan
+Reported per worker count (default sweep 1/2/4/8) and per *connection
+mode* — persistent keep-alive (one connection per client, reused for
+every request) vs per-request close (a fresh TCP connect each time):
+aggregate throughput (requests/second) and the p50/p99 response-time
+percentiles.  The mode split isolates the connection-setup tax from
+query execution; the keep-alive numbers are what the cluster router's
+persistent-connection front end is designed to preserve.  The plan
 cache is warmed before measuring, so the numbers are execution-bound —
 what scales is the overlap of socket I/O, serialization and the numpy
 kernels that release the GIL.
@@ -48,19 +53,26 @@ def run_client(
     stop_at: float,
     latencies: list[float],
     errors: list[BaseException] | None = None,
+    persistent: bool = True,
 ) -> None:
     """One closed-loop client: request, await response, repeat.
+
+    ``persistent=True`` keeps one HTTP connection alive for the whole
+    run (the keep-alive mode); ``persistent=False`` pays a fresh TCP
+    connect per request, with the connect inside the measured latency.
 
     Failures are appended to ``errors`` (when given) so the sweep can
     re-raise them — an exception dying with a client thread must not be
     mistaken for a slow server.
     """
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    conn = None
     i = 0
     try:
         while time.perf_counter() < stop_at:
             body = json.dumps({"query": queries[i % len(queries)]})
             t0 = time.perf_counter()
+            if conn is None:
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
             conn.request(
                 "POST",
                 "/query",
@@ -73,17 +85,25 @@ def run_client(
             if resp.status != 200:
                 raise RuntimeError(f"HTTP {resp.status}: {payload[:200]!r}")
             latencies.append(elapsed)
+            if not persistent:
+                conn.close()
+                conn = None
             i += 1
     except BaseException as exc:
         if errors is None:
             raise
         errors.append(exc)
     finally:
-        conn.close()
+        if conn is not None:
+            conn.close()
 
 
 def bench_workers(
-    database: Database, workers: int, seconds: float, queries: list[str]
+    database: Database,
+    workers: int,
+    seconds: float,
+    queries: list[str],
+    persistent: bool = True,
 ) -> dict:
     """Throughput + latency percentiles for one worker-pool size."""
     service = QueryService(database, workers=workers, deadline_seconds=120.0)
@@ -106,7 +126,7 @@ def bench_workers(
         clients = [
             threading.Thread(
                 target=run_client,
-                args=(port, queries, stop_at, latencies, errors),
+                args=(port, queries, stop_at, latencies, errors, persistent),
             )
             for _ in range(workers)
         ]
@@ -132,6 +152,7 @@ def bench_workers(
     latencies.sort()
     return {
         "workers": workers,
+        "connection": "keep-alive" if persistent else "close",
         "requests": len(latencies),
         "seconds": wall,
         "throughput_rps": len(latencies) / wall,
@@ -146,13 +167,15 @@ def run_serve_bench(
     worker_counts: tuple[int, ...] = DEFAULT_WORKERS,
     queries: tuple[str, ...] = BENCH_QUERIES,
 ) -> list[dict]:
-    """The full sweep over worker-pool sizes, one shared document load."""
+    """The full sweep: worker-pool sizes x both connection modes, one
+    shared document load."""
     database = Database()
     database.load_document("auction.xml", generate_document(scale))
     texts = [XMARK_QUERIES[name] for name in queries]
     return [
-        bench_workers(database, workers, seconds, texts)
+        bench_workers(database, workers, seconds, texts, persistent=persistent)
         for workers in worker_counts
+        for persistent in (True, False)
     ]
 
 
@@ -164,16 +187,18 @@ def report_serve(
     print("\n=== serving: closed-loop clients vs the worker pool ===")
     print(
         f"(XMark scale {scale}, {seconds:g}s per point, clients = workers, "
-        f"queries {'+'.join(BENCH_QUERIES)}, warm plan cache)"
+        f"queries {'+'.join(BENCH_QUERIES)}, warm plan cache, both "
+        "connection modes)"
     )
     print(
-        f"{'workers':>8} | {'requests':>9} | {'req/s':>9} "
+        f"{'workers':>8} | {'connection':>10} | {'requests':>9} | {'req/s':>9} "
         f"| {'p50 ms':>9} | {'p99 ms':>9}"
     )
     rows = run_serve_bench(scale=scale, seconds=seconds, worker_counts=worker_counts)
     for row in rows:
         print(
-            f"{row['workers']:>8} | {row['requests']:>9} "
+            f"{row['workers']:>8} | {row['connection']:>10} "
+            f"| {row['requests']:>9} "
             f"| {row['throughput_rps']:>9.1f} | {row['p50_ms']:>9.2f} "
             f"| {row['p99_ms']:>9.2f}"
         )

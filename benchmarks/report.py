@@ -11,6 +11,7 @@ Usage::
     python benchmarks/report.py joins      # E7 join-recognition ablation
     python benchmarks/report.py prepared   # plan-cache amortization
     python benchmarks/report.py serve      # HTTP serving throughput sweep
+    python benchmarks/report.py cluster    # sharded worker-process scaling
     python benchmarks/report.py updates    # update latency vs re-shredding
     python benchmarks/report.py serialize  # document I/O fast path
     python benchmarks/report.py all
@@ -233,6 +234,12 @@ def report_serve():
     run()
 
 
+def report_cluster():
+    from benchmarks.bench_cluster import report_cluster as run
+
+    run()
+
+
 def report_updates():
     from benchmarks.bench_updates import report_updates as run
 
@@ -256,6 +263,7 @@ REPORTS = {
     "sqlhost": report_sqlhost,
     "prepared": report_prepared,
     "serve": report_serve,
+    "cluster": report_cluster,
     "updates": report_updates,
     "serialize": report_serialize,
 }

@@ -60,6 +60,7 @@ from repro.encoding.store import (
     DocumentStore,
     materialize_delta,
     serialize_delta,
+    shard_of,
 )
 from repro.errors import PathfinderError
 from repro.relational import algebra as alg
@@ -82,11 +83,17 @@ class Database:
         store: "DocumentStore | str | None" = None,
         checkpoint_wal_bytes: int | None = 4 * 1024 * 1024,
         page_budget_bytes: int | None = None,
+        shard: "tuple[int, int] | None" = None,
     ):
         if page_budget_bytes is not None and store is None:
             raise PathfinderError(
                 "page_budget_bytes needs a persistent store to page from "
                 "(pass store=PATH)"
+            )
+        if shard is not None and store is None:
+            raise PathfinderError(
+                "a shard-scoped open needs a persistent store (pass "
+                "store=PATH)"
             )
         self.arena = NodeArena()
         #: eviction budget for mmap-paged fragments (None = eager arena)
@@ -110,12 +117,20 @@ class Database:
         self._estimator: CardinalityEstimator | None = None
         #: the attached persistent store (None = pure in-memory catalog)
         self.store: DocumentStore | None = None
+        #: this database's shard-scoped view, ``(index, count)`` or None
+        self.shard = shard
         #: auto-checkpoint once the WAL outgrows this (None disables)
         self.checkpoint_wal_bytes = checkpoint_wal_bytes
         if store is not None:
             if not isinstance(store, DocumentStore):
-                store = DocumentStore(store)
+                store = DocumentStore(store, shard=shard)
+            elif shard is not None and store.shard != tuple(shard):
+                raise PathfinderError(
+                    "the given DocumentStore was opened with a different "
+                    "shard spec"
+                )
             self.store = store
+            self.shard = store.shard
             with self._rwlock.write_locked():
                 self._recover_locked()
 
@@ -126,6 +141,7 @@ class Database:
         plan_cache_size: int = 128,
         checkpoint_wal_bytes: int | None = 4 * 1024 * 1024,
         page_budget_bytes: int | None = None,
+        shard: "tuple[int, int] | None" = None,
     ) -> "Database":
         """Open (or create) a persistent database at ``path``.
 
@@ -140,19 +156,38 @@ class Database:
         stay mmap-cold until a query touches them and are evicted LRU
         once resident bytes exceed the budget — the catalog may be
         several times larger than the budget (docs/storage.md).
+
+        ``shard=(index, count)`` opens a shard-scoped view for one
+        cluster worker: only documents :func:`~repro.encoding.store.shard_of`
+        assigns to ``index`` are adopted, foreign WAL records are skipped
+        on replay, and writes go to a private per-shard WAL with
+        merge-committed manifests (docs/serving.md).
         """
         return cls(
             plan_cache_size=plan_cache_size,
             store=path,
             checkpoint_wal_bytes=checkpoint_wal_bytes,
             page_budget_bytes=page_budget_bytes,
+            shard=shard,
         )
 
     def _recover_locked(self) -> None:
-        """Load manifest fragments, replay the WAL tail, restore epochs."""
+        """Load manifest fragments, replay the WAL tail, restore epochs.
+
+        A shard-scoped open adopts only the documents it owns; foreign
+        WAL records are skipped by the same base-epoch check that makes
+        replay idempotent (a document never loaded has no epoch to
+        match).  An *unsharded* open that found per-shard WAL files (a
+        previous cluster session) checkpoints immediately after replay,
+        so later appends to the shared log can never be interleaved
+        out of order with the per-shard leftovers.
+        """
         store = self.store
         store.gc_unreferenced()
+        had_shard_wals = bool(store.shard_wal_paths())
         for uri, meta in sorted(store.manifest["documents"].items()):
+            if not store.owns(uri):
+                continue
             self.documents[uri] = store.load_fragment(self.arena, uri)
             self.doc_epochs[uri] = meta["epoch"]
             self._xml_bytes += meta.get("xml_bytes", 0)
@@ -189,6 +224,10 @@ class Database:
             # same implicit rule as in-memory first-load (manifest order)
             self._default_document = next(iter(sorted(self.documents)))
             self._default_explicit = False
+        if store.shard is None and had_shard_wals:
+            # fold a cluster session's per-shard logs away now — see
+            # the docstring; also removes the wal-NN.log files
+            self._checkpoint_locked()
 
     @contextmanager
     def read_locked(self):
@@ -218,14 +257,19 @@ class Database:
         rule rather than by ``default=True``/``set_default_document``."""
         return self._default_document is not None and not self._default_explicit
 
-    def set_default_document(self, uri: str) -> None:
-        """Explicitly pick the document absolute paths resolve against."""
+    def set_default_document(self, uri: str, persist: bool = True) -> None:
+        """Explicitly pick the document absolute paths resolve against.
+
+        ``persist=False`` skips the store commit — used by cluster
+        workers pinning the router's cluster-wide default locally
+        without contending for the shared manifest.
+        """
         with self._rwlock.write_locked():
             if uri not in self.documents:
                 raise PathfinderError(f"document {uri!r} is not loaded")
             self._default_document = uri
             self._default_explicit = True
-            if self.store is not None:
+            if self.store is not None and persist:
                 self.store.set_default(uri)
 
     def load_document(
@@ -264,6 +308,12 @@ class Database:
         self, uri: str, xml_text: str, default: bool, replace: bool
     ) -> int:
         """The load/replace body; caller holds the catalog lock exclusive."""
+        if self.store is not None and not self.store.owns(uri):
+            index, count = self.store.shard
+            raise PathfinderError(
+                f"document {uri!r} belongs to shard "
+                f"{shard_of(uri, count)}, not this worker's shard {index}"
+            )
         if uri in self.documents:
             if not replace:
                 raise PathfinderError(

@@ -46,15 +46,45 @@ Durability protocol (see ``docs/storage.md``):
 Every file-system step calls the injectable ``fault_hook`` first, which
 is how the crash-recovery suite (``tests/test_store_recovery.py``) kills
 the process at each boundary and proves reopening is always consistent.
+
+Shard-scoped opens (the cluster serving tier, docs/serving.md): a store
+opened with ``shard=(i, n)`` is one worker process's view of a shared
+directory.  The shard map is pure hashing — :func:`shard_of` assigns
+every URI to exactly one of ``n`` shards — so re-opening the same
+directory with a different worker count is only a different open-time
+filter, never a data migration.  A sharded store:
+
+* appends to a **private WAL** (``wal-<i>.log``) so concurrent workers
+  never interleave writes in one log; recovery reads the legacy shared
+  ``wal.log`` *read-only* (skipping other shards' records happens at
+  the Database layer via the idempotent base-epoch check) plus its own
+  log.  An unsharded open reads *all* WAL files, so switching a
+  directory between single-process and cluster serving is safe in both
+  directions.
+* **merge-commits the manifest** under an advisory file lock: the commit
+  re-reads the manifest from disk and overlays only the documents this
+  shard owns, so concurrent workers checkpointing different shards
+  cannot lose each other's entries.
+* skips :meth:`gc_unreferenced` (a concurrent worker's freshly written
+  fragment directory is unreachable *until* its manifest commit, and
+  must not be swept by a neighbour).
 """
 
 from __future__ import annotations
 
+import glob
+import hashlib
 import json
 import os
 import re
 import shutil
 import zlib
+from contextlib import contextmanager
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 import numpy as np
 
@@ -105,6 +135,22 @@ class StoreCrash(RuntimeError):
     """Raised by fault hooks to simulate a crash mid-write (tests)."""
 
 
+def shard_of(uri: str, shards: int) -> int:
+    """Deterministic shard owner of a document URI (SHA-1 mod shards).
+
+    This *is* the cluster's shard map: pure hashing, no state, so the
+    router, every worker, and any later re-open with a different worker
+    count all agree on ownership without coordination.  SHA-1 rather
+    than CRC-32 because CRC's linearity leaves near-identical URIs
+    (``doc0.xml`` … ``doc5.xml``) with correlated low bits — real
+    catalogs name documents in exactly that pattern.
+    """
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    digest = hashlib.sha1(uri.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
 def _slug(uri: str) -> str:
     """A filesystem-safe (non-unique) name for a document URI."""
     return re.sub(r"[^A-Za-z0-9._-]+", "_", uri)[:64] or "doc"
@@ -153,11 +199,23 @@ class DocumentStore:
     serialises manifest swaps and WAL appends.  ``fault_hook(point)``
     is invoked before/after each file-system step with a label such as
     ``"wal:fsync"``; raising from the hook simulates a crash there.
+
+    ``shard=(index, count)`` opens the directory as one cluster
+    worker's shard-scoped view (see the module docs): a private WAL,
+    merge-committed manifest, and :meth:`owns` as the ownership filter
+    the Database layer applies during recovery and loads.
     """
 
-    def __init__(self, path: str, fault_hook=None):
+    def __init__(self, path: str, fault_hook=None, shard=None):
         self.path = os.path.abspath(str(path))
         self._fault = fault_hook if fault_hook is not None else lambda point: None
+        if shard is not None:
+            index, count = int(shard[0]), int(shard[1])
+            if count < 1 or not (0 <= index < count):
+                raise ValueError(f"invalid shard spec {shard!r}")
+            shard = (index, count)
+        self.shard = shard
+        self._default_override = False
         os.makedirs(os.path.join(self.path, "docs"), exist_ok=True)
         self.manifest: dict = {
             "format": FORMAT_VERSION,
@@ -181,10 +239,22 @@ class DocumentStore:
         self.replayed = 0
 
     # ------------------------------------------------------------ plumbing
+    def owns(self, uri: str) -> bool:
+        """Whether this (possibly shard-scoped) open owns ``uri``."""
+        if self.shard is None:
+            return True
+        return shard_of(uri, self.shard[1]) == self.shard[0]
+
     @property
     def wal_path(self) -> str:
-        """Absolute path of the write-ahead log."""
+        """Absolute path of the write-ahead log this open appends to."""
+        if self.shard is not None:
+            return os.path.join(self.path, f"wal-{self.shard[0]:02d}.log")
         return os.path.join(self.path, WAL_NAME)
+
+    def shard_wal_paths(self) -> list[str]:
+        """Per-shard WAL files present in the directory, sorted."""
+        return sorted(glob.glob(os.path.join(self.path, "wal-[0-9]*.log")))
 
     @property
     def wal_bytes(self) -> int:
@@ -254,7 +324,13 @@ class DocumentStore:
             "attr_name": remap(aname),
             "attr_value": remap(avalue),
         }
-        rel_dir = os.path.join("docs", f"{_slug(uri)}-{epoch:08d}")
+        # per-shard name suffix: worker epoch counters are only unique
+        # per process, and two URIs on different shards can share a slug
+        if self.shard is not None:
+            frag_name = f"{_slug(uri)}-s{self.shard[0]:02d}-{epoch:08d}"
+        else:
+            frag_name = f"{_slug(uri)}-{epoch:08d}"
+        rel_dir = os.path.join("docs", frag_name)
         frag_dir = os.path.join(self.path, rel_dir)
         os.makedirs(frag_dir, exist_ok=True)
         self._fault("frag:write")
@@ -358,10 +434,91 @@ class DocumentStore:
         )
 
     # ------------------------------------------------------------ manifest
+    @contextmanager
+    def _manifest_lock(self):
+        """Advisory cross-process lock guarding manifest merge-commits."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        lock_path = os.path.join(self.path, "MANIFEST.lock")
+        with open(lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _merge_manifest_from_disk(self) -> None:
+        """Overlay this shard's entries onto the manifest on disk.
+
+        Runs under :meth:`_manifest_lock`.  For documents this shard
+        owns, the in-memory state is the truth (including absence: an
+        owned document missing from memory was deleted); for foreign
+        documents the disk state wins, so concurrent workers committing
+        different shards never lose each other's entries.  The default
+        document follows the disk unless this worker explicitly set it
+        (``set_default``) or the disk's choice no longer exists.
+        """
+        final = os.path.join(self.path, MANIFEST_NAME)
+        disk: dict | None = None
+        try:
+            with open(final, "r", encoding="utf-8") as handle:
+                disk = json.load(handle)
+        except (OSError, ValueError):
+            disk = None
+        if not isinstance(disk, dict) or disk.get("format") != FORMAT_VERSION:
+            return  # nothing valid on disk; the in-memory state stands
+        index, count = self.shard
+        merged = {
+            uri: meta
+            for uri, meta in disk.get("documents", {}).items()
+            if shard_of(uri, count) != index
+        }
+        merged.update(
+            {
+                uri: meta
+                for uri, meta in self.manifest["documents"].items()
+                if shard_of(uri, count) == index
+            }
+        )
+        default = disk.get("default_document")
+        if self._default_override or (
+            default is not None and default not in merged
+        ):
+            default = self.manifest.get("default_document")
+        if default is not None and default not in merged:
+            default = None
+        self.manifest = {
+            "format": FORMAT_VERSION,
+            "last_epoch": max(
+                int(disk.get("last_epoch", 0)),
+                int(self.manifest.get("last_epoch", 0)),
+            ),
+            "default_document": default,
+            "documents": merged,
+            "shards": count,
+        }
+
     def commit_manifest(self) -> None:
-        """Atomically replace ``MANIFEST.json`` with the in-memory state."""
+        """Atomically replace ``MANIFEST.json`` with the in-memory state.
+
+        A shard-scoped store first merges with the manifest on disk
+        under an advisory file lock (see :meth:`_merge_manifest_from_disk`)
+        so concurrent workers' commits compose instead of clobbering.
+        """
+        if self.shard is not None:
+            with self._manifest_lock():
+                self._merge_manifest_from_disk()
+                self._commit_manifest_file()
+        else:
+            self._commit_manifest_file()
+
+    def _commit_manifest_file(self) -> None:
+        """The atomic replace itself: temp + fsync + rename + dir fsync."""
         final = os.path.join(self.path, MANIFEST_NAME)
         tmp = final + ".tmp"
+        if self.shard is not None:
+            tmp = f"{final}.s{self.shard[0]:02d}.tmp"
         self._fault("manifest:write")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self.manifest, handle, indent=1, sort_keys=True)
@@ -413,8 +570,13 @@ class DocumentStore:
             self._gc_dir(old["dir"])
 
     def set_default(self, default_document: str | None) -> None:
-        """Persist the catalog's default-document choice."""
+        """Persist the catalog's default-document choice.
+
+        On a shard-scoped store this marks the default as explicitly
+        chosen, so merge-commits carry it over the disk's value.
+        """
         self.manifest["default_document"] = default_document
+        self._default_override = True
         self.commit_manifest()
 
     def _gc_dir(self, rel_dir: str) -> None:
@@ -426,8 +588,12 @@ class DocumentStore:
 
         Runs at open: crashes can strand half-written fragment
         directories (they only become reachable at manifest commit).
-        Returns how many directories were removed.
+        Returns how many directories were removed.  A shard-scoped open
+        never sweeps: a concurrent worker's freshly written fragment is
+        unreachable *until* its manifest commit and must survive.
         """
+        if self.shard is not None:
+            return 0
         live = {meta["dir"] for meta in self.manifest["documents"].values()}
         removed = 0
         docs = os.path.join(self.path, "docs")
@@ -463,18 +629,20 @@ class DocumentStore:
             self.dirty.add(part["uri"])
             self.bump_epoch(part["new_epoch"])
 
-    def read_wal(self) -> list[dict]:
-        """Return every intact WAL record, discarding a torn tail.
+    def _read_wal_file(self, path: str, truncate: bool) -> list[dict]:
+        """Parse one WAL file's intact records, discarding a torn tail.
 
         A record is intact when its line parses as JSON and the CRC of
         the canonical payload matches; the first failure ends the log
         (an fsynced append can never be *followed* by an intact line,
-        so nothing valid is thrown away) and the file is truncated to
-        the surviving prefix so later appends start clean.
+        so nothing valid is thrown away).  With ``truncate`` the file is
+        cut back to the surviving prefix so later appends start clean —
+        disabled for files this open doesn't own (the legacy shared log
+        read by a shard-scoped worker).
         """
         records: list[dict] = []
         try:
-            with open(self.wal_path, "rb") as handle:
+            with open(path, "rb") as handle:
                 raw = handle.read()
         except OSError:
             return records
@@ -497,20 +665,69 @@ class DocumentStore:
                 break
             records.append(framed["rec"])
             pos = newline + 1
-        if pos < len(raw):
-            with open(self.wal_path, "ab") as handle:
+        if truncate and pos < len(raw):
+            with open(path, "ab") as handle:
                 handle.truncate(pos)
-        if records:
-            self.wal_seq = max(r.get("seq", 0) for r in records)
-            self.wal_records = len(records)
+        return records
+
+    def read_wal(self) -> list[dict]:
+        """Return every replayable WAL record across the WAL files.
+
+        An unsharded open reads the shared log plus any per-shard logs
+        a previous cluster session left behind; a shard-scoped open
+        reads the shared log (read-only — other shards still need it)
+        followed by its private log.  Cross-file ordering leans on the
+        replay loop's base-epoch check: a record whose base epoch no
+        longer matches is skipped, and the Database forces a checkpoint
+        after an unsharded recovery that consumed per-shard logs so
+        stale cross-file interleavings can never accumulate.
+        """
+        legacy = os.path.join(self.path, WAL_NAME)
+        if self.shard is not None:
+            files = [(legacy, False), (self.wal_path, False)]
+        else:
+            files = [(legacy, True)]
+            files += [(p, True) for p in self.shard_wal_paths()]
+        records: list[dict] = []
+        own: list[dict] = []
+        for path, truncate in files:
+            recs = self._read_wal_file(
+                path, truncate or path == self.wal_path
+            )
+            records.extend(recs)
+            if path == self.wal_path:
+                own = recs
+        tracked = own if self.shard is not None else records
+        if tracked:
+            self.wal_seq = max(r.get("seq", 0) for r in tracked)
+            self.wal_records = len(tracked)
         return records
 
     def truncate_wal(self) -> None:
-        """Empty the WAL (checkpoint already folded its records in)."""
+        """Empty the WAL (checkpoint already folded its records in).
+
+        A shard-scoped open truncates only its private log (the shared
+        log's records for its documents are stale after the checkpoint
+        and will be skipped by the base-epoch check); an unsharded open
+        also removes any per-shard logs left by a cluster session.
+        """
         self._fault("wal:truncate")
-        with open(self.wal_path, "wb") as handle:
-            handle.flush()
-            os.fsync(handle.fileno())
+        if self.shard is not None:
+            # a shard's log is private: remove it outright, so a drained
+            # cluster leaves no wal-NN files behind (appends recreate it)
+            try:
+                os.remove(self.wal_path)
+            except OSError:
+                pass
+        else:
+            with open(self.wal_path, "wb") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+            for path in self.shard_wal_paths():
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
         self.wal_records = 0
 
     # ----------------------------------------------------------- checkpoint
@@ -561,10 +778,23 @@ class DocumentStore:
 
     # --------------------------------------------------------------- status
     def status(self) -> dict:
-        """Operational summary (the ``/stats`` ``"store"`` section)."""
-        docs = self.manifest["documents"]
+        """Operational summary (the ``/stats`` ``"store"`` section).
+
+        A shard-scoped store counts only the documents it owns, so the
+        cluster's per-shard sections sum to the catalog, not N copies
+        of it.
+        """
+        docs = {
+            uri: meta
+            for uri, meta in self.manifest["documents"].items()
+            if self.owns(uri)
+        }
+        shard = None
+        if self.shard is not None:
+            shard = {"index": self.shard[0], "of": self.shard[1]}
         return {
             "path": self.path,
+            "shard": shard,
             "documents": len(docs),
             "last_epoch": self.manifest.get("last_epoch", 0),
             "wal_bytes": self.wal_bytes,

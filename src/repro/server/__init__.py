@@ -11,10 +11,15 @@ package is the reproduction's operational surface.  It stacks:
 * :mod:`repro.server.http` — a dependency-free ``http.server`` front
   end exposing ``POST /query``, ``GET /explain``, ``GET /stats`` and
   hot document management under ``/documents``, with graceful
-  shutdown.
+  shutdown;
+* :class:`~repro.server.cluster.ClusterService` — the same service
+  surface scaled out: N worker processes, each a shard-scoped
+  QueryService over its partition of the mmap store, scatter-gather
+  query routing, and an asyncio keep-alive router front end
+  (:mod:`repro.server.router`).
 
-Start it from the shell (``python -m repro serve --xmark 0.002``) or in
-process::
+Start it from the shell (``python -m repro serve --xmark 0.002``, add
+``--workers 4`` for the cluster) or in process::
 
     from repro.server import QueryService, serve
     service = QueryService(database, workers=4)
@@ -23,7 +28,21 @@ process::
 The operations guide lives in ``docs/serving.md``.
 """
 
+from repro.server.cluster import ClusterService
 from repro.server.http import make_server, serve
+from repro.server.protocol import RemoteError, WorkerUnavailable
+from repro.server.router import RouterServer
+from repro.server.router import serve as serve_cluster
 from repro.server.service import DeadlineExceeded, QueryService
 
-__all__ = ["QueryService", "DeadlineExceeded", "make_server", "serve"]
+__all__ = [
+    "QueryService",
+    "ClusterService",
+    "DeadlineExceeded",
+    "RemoteError",
+    "WorkerUnavailable",
+    "RouterServer",
+    "make_server",
+    "serve",
+    "serve_cluster",
+]

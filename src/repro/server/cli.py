@@ -4,14 +4,18 @@ Loads documents (files and/or a generated XMark instance) into one
 shared Database, builds a :class:`~repro.server.service.QueryService`
 and blocks in :func:`repro.server.http.serve` until SIGINT/SIGTERM::
 
-    python -m repro serve --xmark 0.002 --port 8080 --workers 4
+    python -m repro serve --xmark 0.002 --port 8080 --threads 4
     python -m repro serve --doc catalog.xml=path/to.xml --deadline 5
+    python -m repro serve --store ./cat --workers 4   # sharded cluster
 
-Tuning knobs (see docs/serving.md): ``--workers`` bounds concurrent
-query execution, ``--deadline`` is the default per-request wall-clock
-budget, ``--plan-cache`` sizes the shared compile-once LRU, and
-``--backend sqlhost`` runs worker sessions on the SQLite host (with
-automatic numpy fallback).
+Tuning knobs (see docs/serving.md): ``--workers N`` (N > 0) serves the
+catalog from N shard-scoped worker *processes* behind the asyncio
+scatter-gather router (``--workers 0``, the default, keeps the
+single-process thread-pool server), ``--threads`` bounds concurrent
+query execution per process, ``--deadline`` is the default per-request
+wall-clock budget, ``--plan-cache`` sizes the shared compile-once LRU,
+and ``--backend sqlhost`` runs worker sessions on the SQLite host
+(with automatic numpy fallback).
 
 ``--store DIR`` attaches a persistent document store (docs/storage.md):
 documents already persisted under DIR are recovered (mmap + WAL replay)
@@ -41,7 +45,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=8080, help="bind port")
     parser.add_argument(
-        "--workers", type=int, default=4, help="query worker threads"
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard the catalog over N worker processes behind the "
+        "scatter-gather router (0 = single-process server)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=4, help="query threads per process"
     )
     parser.add_argument(
         "--deadline",
@@ -98,6 +110,53 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _serve_cluster(args, out) -> int:
+    """The ``--workers N`` path: ClusterService behind the asyncio router."""
+    from repro.server.cluster import ClusterService
+    from repro.server.router import serve as serve_cluster
+
+    service = ClusterService(
+        args.workers,
+        store=args.store,
+        threads=args.threads,
+        deadline_seconds=args.deadline,
+        plan_cache_size=args.plan_cache,
+        page_budget_bytes=args.page_budget,
+        session_options={
+            "backend": args.backend,
+            "use_optimizer": not args.no_optimizer,
+        },
+    )
+    try:
+        recovered = [d["uri"] for d in service.list_documents()]
+        if args.store is not None and recovered:
+            print(f"recovered from {args.store}: {', '.join(recovered)}", file=out)
+        if args.xmark is not None:
+            from repro.xmark import generate_document
+
+            service.put_document("auction.xml", generate_document(args.xmark))
+            print(f"loaded auction.xml (XMark scale {args.xmark})", file=out)
+        for spec in args.doc:
+            uri, _, path = spec.partition("=")
+            if not path:
+                print(f"bad --doc {spec!r}, expected URI=PATH", file=sys.stderr)
+                service.shutdown(wait=True)
+                return 2
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = service.put_document(uri, handle.read())
+            print(
+                f"loaded {uri} ({payload['nodes']} nodes, "
+                f"shard {payload['shard']})",
+                file=out,
+            )
+    except PathfinderError as exc:
+        service.shutdown(wait=True)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    serve_cluster(service, host=args.host, port=args.port, out=out)
+    return 0
+
+
 def serve_main(argv: list[str] | None = None, out=None) -> int:
     """Entry point for ``python -m repro serve``."""
     from repro.server.http import serve
@@ -105,6 +164,15 @@ def serve_main(argv: list[str] | None = None, out=None) -> int:
 
     out = out or sys.stdout
     args = build_serve_parser().parse_args(argv)
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers > 0:
+        try:
+            return _serve_cluster(args, out)
+        except PathfinderError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     try:
         database = Database(
             plan_cache_size=args.plan_cache,
@@ -136,7 +204,7 @@ def serve_main(argv: list[str] | None = None, out=None) -> int:
             print(f"loaded {uri} ({nodes} nodes)", file=out)
         service = QueryService(
             database,
-            workers=args.workers,
+            workers=args.threads,
             deadline_seconds=args.deadline,
             session_options={
                 "backend": args.backend,

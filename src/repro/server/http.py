@@ -276,7 +276,13 @@ def make_server(
     one process (tests, benchmarks) never share a ``service``.
     """
     handler = type(
-        "BoundQueryServiceHandler", (QueryServiceHandler,), {"service": service}
+        "BoundQueryServiceHandler",
+        (QueryServiceHandler,),
+        # TCP_NODELAY: chunked responses end in small writes, and with
+        # Nagle on, a reused keep-alive connection stalls ~40ms per
+        # request (Nagle x delayed-ACK) — persistent connections would
+        # bench *slower* than connect-per-request
+        {"service": service, "disable_nagle_algorithm": True},
     )
     server = ThreadingHTTPServer((host, port), handler)
     # non-daemon connection threads: server_close() joins them, so a

@@ -1,0 +1,424 @@
+"""The cluster's HTTP front end: one asyncio router, keep-alive, fan-out.
+
+The single-process server (:mod:`repro.server.http`) spends a thread per
+connection; the router replaces that with one asyncio event loop that
+owns every socket, so thousands of keep-alive connections cost file
+descriptors, not threads.  Blocking service calls (query dispatch to the
+worker processes, admin ops) hop onto a thread pool via
+``run_in_executor`` — the event loop itself never blocks on a shard.
+
+The HTTP surface is the same as the single-process server, same routes,
+same JSON shapes, and ``POST /query`` responses are chunk-for-chunk the
+same bytes (the ``{"result": "...", ...meta}`` chunked-transfer
+framing), so clients cannot tell which serving tier answered — the
+differential suite (``tests/test_cluster.py``) holds the two
+byte-identical.  Two additions: ``GET /healthz`` returns the router +
+per-worker liveness/readiness report (and 503 when a shard is down),
+and worker-unavailable failures surface as HTTP 503.
+
+Graceful shutdown (SIGINT/SIGTERM): stop accepting, let in-flight
+responses finish (bounded by the idle timeout), then drain the cluster —
+every worker finishes its queue, checkpoints its shard and exits —
+before :func:`serve` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from functools import partial
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.errors import PathfinderError
+from repro.server.http import MAX_BODY_BYTES
+from repro.server.protocol import status_for
+
+#: an idle keep-alive connection is closed after this many seconds
+IDLE_TIMEOUT = 10.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_SENTINEL = object()
+
+
+def _reason(status: int) -> str:
+    return _REASONS.get(status, "Error")
+
+
+class Router:
+    """The asyncio protocol engine behind :class:`RouterServer`."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.address: tuple | None = None
+        self._tasks: set = set()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------ lifecycle
+    async def run(self, ready: "threading.Event | None" = None) -> None:
+        """Serve until :meth:`request_stop`; then drain connections."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._client_connected, self.host, self.port
+        )
+        self.address = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready.set()
+        async with server:
+            await self._stop.wait()
+        # the accept loop is closed; give in-flight responses one idle
+        # period to finish, then cancel stragglers (idle keep-alives)
+        if self._tasks:
+            await asyncio.wait(list(self._tasks), timeout=IDLE_TIMEOUT + 1.0)
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def request_stop(self) -> None:
+        """Thread-safe stop signal (the loop may live on another thread)."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def _call(self, fn, *args, **kwargs):
+        """Run one blocking service call on the default executor."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, partial(fn, *args, **kwargs)
+        )
+
+    # ---------------------------------------------------------- connections
+    def _client_connected(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """One keep-alive connection: request loop until close/idle."""
+        try:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), timeout=IDLE_TIMEOUT
+                    )
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionError,
+                ):
+                    return
+                keep_alive = await self._serve_request(head, reader, writer)
+                if not keep_alive:
+                    return
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_request(self, head: bytes, reader, writer) -> bool:
+        """Parse + route one request; returns keep-alive?"""
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, version = lines[0].split(" ", 2)
+            headers = {}
+            for line in lines[1:]:
+                if ":" in line:
+                    name, value = line.split(":", 1)
+                    headers[name.strip().lower()] = value.strip()
+        except ValueError:
+            await self._json(writer, 400, {"error": "malformed request"})
+            return False
+        keep_alive = (
+            version != "HTTP/1.0"
+            and headers.get("connection", "").lower() != "close"
+        )
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY_BYTES:
+            await self._json(
+                writer,
+                400,
+                {
+                    "error": f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit",
+                    "kind": "PathfinderError",
+                },
+            )
+            return False
+        body = await reader.readexactly(length) if length else b""
+        url = urlparse(target)
+        try:
+            return await self._route(
+                method, url, body, writer, keep_alive
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # a RemoteError carries the worker-side class name, so the
+            # error body matches the single-process server's exactly
+            kind = getattr(exc, "kind", None) or type(exc).__name__
+            await self._json(
+                writer,
+                status_for(exc),
+                {"error": str(exc), "kind": kind},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+
+    # -------------------------------------------------------------- routing
+    async def _route(self, method, url, body, writer, keep_alive) -> bool:
+        service = self.service
+        path = url.path
+        if method == "GET":
+            if path in ("/", "/healthz"):
+                health = await self._call(service.health)
+                status = 200 if health.get("ok") else 503
+                await self._json(writer, status, health, keep_alive=keep_alive)
+            elif path == "/stats":
+                await self._json(
+                    writer, 200, await self._call(service.stats),
+                    keep_alive=keep_alive,
+                )
+            elif path == "/documents":
+                docs = await self._call(service.list_documents)
+                await self._json(
+                    writer, 200, {"documents": docs}, keep_alive=keep_alive
+                )
+            elif path == "/explain":
+                params = parse_qs(url.query)
+                query = (params.get("q") or params.get("query") or [""])[0]
+                if not query:
+                    raise PathfinderError("pass the query as ?q=<xquery>")
+                await self._json(
+                    writer, 200, await self._call(service.explain, query),
+                    keep_alive=keep_alive,
+                )
+            else:
+                await self._json(
+                    writer, 404, {"error": f"no route {path}"},
+                    keep_alive=keep_alive,
+                )
+            return keep_alive
+        if method == "POST":
+            if path == "/query":
+                return await self._query(body, writer, keep_alive)
+            if path == "/update":
+                query, bindings, deadline = _query_body(body)
+                payload = await self._call(
+                    service.execute_update, query, bindings, deadline=deadline
+                )
+                await self._json(writer, 200, payload, keep_alive=keep_alive)
+            elif path == "/checkpoint":
+                await self._json(
+                    writer, 200, await self._call(service.checkpoint),
+                    keep_alive=keep_alive,
+                )
+            else:
+                await self._json(
+                    writer, 404, {"error": f"no route {path}"},
+                    keep_alive=keep_alive,
+                )
+            return keep_alive
+        if method in ("PUT", "DELETE"):
+            prefix = "/documents/"
+            if not path.startswith(prefix) or len(path) == len(prefix):
+                await self._json(
+                    writer, 404, {"error": "expected /documents/<name>"},
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            uri = unquote(path[len(prefix):])
+            if method == "PUT":
+                xml_text = body.decode("utf-8")
+                if not xml_text.strip():
+                    raise PathfinderError(
+                        "the request body must be the XML document"
+                    )
+                payload = await self._call(service.put_document, uri, xml_text)
+            else:
+                payload = await self._call(service.delete_document, uri)
+            await self._json(writer, 200, payload, keep_alive=keep_alive)
+            return keep_alive
+        await self._json(
+            writer, 404, {"error": f"no route {method} {path}"},
+            keep_alive=keep_alive,
+        )
+        return keep_alive
+
+    async def _query(self, body, writer, keep_alive) -> bool:
+        """``POST /query`` — chunked transfer, single-process framing."""
+        query, bindings, deadline = _query_body(body)
+        meta, chunks = await self._call(
+            self.service.execute_stream, query, bindings, deadline=deadline
+        )
+        chunks = iter(chunks)
+        # pull the first chunk before committing to a 200, so a budget
+        # already spent (or an immediate failure) still gets its status
+        first = await self._call(next, chunks, _SENTINEL)
+        connection = "keep-alive" if keep_alive else "close"
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/json\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                f"Connection: {connection}\r\n\r\n"
+            ).encode("latin-1")
+        )
+
+        def send_chunk(data: bytes) -> None:
+            if data:  # a zero-length chunk would terminate the stream
+                writer.write(b"%X\r\n%s\r\n" % (len(data), data))
+
+        try:
+            # json.dumps escapes characterwise, so escaping each chunk
+            # separately concatenates to exactly the buffered encoding
+            send_chunk(b'{"result": "')
+            if first is not _SENTINEL:
+                send_chunk(json.dumps(first)[1:-1].encode("utf-8"))
+            while True:
+                chunk = await self._call(next, chunks, _SENTINEL)
+                if chunk is _SENTINEL:
+                    break
+                send_chunk(json.dumps(chunk)[1:-1].encode("utf-8"))
+                await writer.drain()
+        except Exception:
+            # mid-stream failure: the response can only be truncated —
+            # close the connection rather than desync the stream
+            return False
+        tail = '", ' + json.dumps(meta)[1:]
+        send_chunk(tail.encode("utf-8"))
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return keep_alive
+
+    async def _json(
+        self, writer, status: int, payload: dict, keep_alive: bool = False
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_reason(status)}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {connection}\r\n\r\n"
+            ).encode("latin-1")
+        )
+        writer.write(body)
+        await writer.drain()
+
+
+def _query_body(body: bytes) -> tuple[str, dict, object]:
+    """Validate a ``/query``-shaped JSON body (same rules as http.py)."""
+    payload = json.loads(body or b"{}")
+    query = payload.get("query") if isinstance(payload, dict) else None
+    if not isinstance(query, str) or not query.strip():
+        raise PathfinderError(
+            'the request body needs a non-empty "query" string field'
+        )
+    bindings = payload.get("bindings") or {}
+    if not isinstance(bindings, dict):
+        raise PathfinderError('"bindings" must be a JSON object')
+    return query, bindings, payload.get("deadline")
+
+
+class RouterServer:
+    """The router on a background thread — the test/CLI harness.
+
+    ``start()`` spins up the event loop thread and blocks until the
+    socket listens (returning the bound address, for ``port=0``);
+    ``stop()`` runs the graceful sequence: stop accepting, drain
+    connections, then (optionally) shut the service — for a cluster,
+    that drains every worker process — before returning.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.router = Router(service, host, port)
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple | None:
+        """The bound ``(host, port)`` once :meth:`start` returned."""
+        return self.router.address
+
+    def start(self) -> tuple:
+        """Start the loop thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.router.run(ready=self._ready)),
+            daemon=True,
+            name="repro-router",
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise PathfinderError("the router failed to start listening")
+        return self.router.address
+
+    def stop(self, shutdown_service: bool = True) -> None:
+        """Graceful stop; drains the service's workers when asked."""
+        self.router.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=IDLE_TIMEOUT + 15.0)
+        if shutdown_service:
+            self.service.shutdown(wait=True)
+
+
+def serve(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    install_signal_handlers: bool = True,
+    ready: threading.Event | None = None,
+    out=None,
+) -> None:
+    """Blocking entry point: serve until SIGINT/SIGTERM, then drain.
+
+    The shutdown order is the graceful contract: close the listening
+    socket, finish in-flight responses, then ``service.shutdown`` —
+    which for a :class:`~repro.server.cluster.ClusterService` drains
+    and checkpoints every worker process — before returning.
+    """
+    server = RouterServer(service, host, port)
+    address = server.start()
+    stop = threading.Event()
+
+    def request_shutdown(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    if install_signal_handlers:  # pragma: no cover - exercised via CLI
+        signal.signal(signal.SIGINT, request_shutdown)
+        signal.signal(signal.SIGTERM, request_shutdown)
+    if out is not None:
+        workers = getattr(service, "workers", "?")
+        threads = getattr(service, "threads", "?")
+        print(
+            f"cluster router on http://{address[0]}:{address[1]} "
+            f"({workers} worker processes x {threads} threads, "
+            f"{service.deadline_seconds:g}s deadline)",
+            file=out,
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        stop.wait()
+    finally:
+        server.stop(shutdown_service=True)

@@ -143,9 +143,13 @@ class QueryService:
             if future.cancel():
                 with self._stats_lock:
                     self._shed += 1
-                raise DeadlineExceeded(
+                exc = DeadlineExceeded(
                     f"request shed after waiting {budget:.3f}s in the queue"
-                ) from None
+                )
+                # mark it like the task-side shed, so callers (and the
+                # cluster's wire protocol) see one shedding semantic
+                exc.queue_shed = True
+                raise exc from None
             with self._stats_lock:
                 self._timeouts += 1
             raise DeadlineExceeded(
@@ -200,6 +204,7 @@ class QueryService:
         query: str,
         bindings: dict | None = None,
         deadline: float | None = None,
+        edge_meta: bool = False,
     ) -> tuple[dict, object]:
         """Execute one query, deferring serialization to the caller.
 
@@ -219,6 +224,13 @@ class QueryService:
         and any other mid-stream failure is counted as an error, so the
         '/stats reports every request that did not produce a result'
         contract survives the move off the worker pool.
+
+        ``edge_meta=True`` adds a ``"_edges"`` field to ``meta`` saying
+        whether the sequence's first/last items are atomic values — the
+        cluster router needs this to decide whether a space separator
+        belongs between two shards' streams when it concatenates a
+        scattered sequence (XQuery serialization separates *adjacent
+        atomics* with a space; nodes get no separator).
         """
 
         def run(session):
@@ -233,6 +245,16 @@ class QueryService:
                 "execute_seconds": result.execute_seconds,
                 "parameters": [v.name for v in prepared.parameters],
             }
+            if edge_meta:
+                from repro.compiler.serialize import ordered_items
+                from repro.relational.items import K_ATTR, K_NODE
+
+                kinds = ordered_items(result.table).kinds
+                atomic = lambda k: int(k) not in (K_NODE, K_ATTR)  # noqa: E731
+                meta["_edges"] = {
+                    "first_atomic": len(kinds) > 0 and atomic(kinds[0]),
+                    "last_atomic": len(kinds) > 0 and atomic(kinds[-1]),
+                }
             return meta, result
 
         started = time.monotonic()
@@ -350,6 +372,16 @@ class QueryService:
         return self.database.checkpoint()
 
     # --------------------------------------------------------------- stats
+    def health(self) -> dict:
+        """Liveness/readiness summary (the cluster's per-worker probe)."""
+        with self._stats_lock:
+            return {
+                "ok": not self._closed,
+                "in_flight": self._in_flight,
+                "documents": len(self.database.documents),
+                "uptime_seconds": time.monotonic() - self._started,
+            }
+
     def stats(self) -> dict:
         """The operational counters behind ``GET /stats``."""
         cache = self.database.plan_cache

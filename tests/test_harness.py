@@ -78,13 +78,19 @@ class TestReports:
 
     def test_serve_bench_rows(self):
         """The serving sweep runs end to end over a real socket and
-        reports throughput and latency percentiles per worker count."""
+        reports throughput and latency percentiles per worker count,
+        in both connection modes (keep-alive and per-request close)."""
         from benchmarks.bench_serve import run_serve_bench
 
         rows = run_serve_bench(
             scale=0.0005, seconds=0.4, worker_counts=(1, 2), queries=("Q1",)
         )
-        assert [r["workers"] for r in rows] == [1, 2]
+        assert [(r["workers"], r["connection"]) for r in rows] == [
+            (1, "keep-alive"),
+            (1, "close"),
+            (2, "keep-alive"),
+            (2, "close"),
+        ]
         for row in rows:
             assert row["requests"] > 0
             assert row["throughput_rps"] > 0
