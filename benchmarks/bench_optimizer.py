@@ -1,6 +1,6 @@
 """E6 — the rewrite-pass optimizer ablation.
 
-Two experiments:
+Three experiments:
 
 * **plan sizes** (the paper's E6): loop-lifted plans are large (Q8 ≈ 120
   operators before optimization) and rewriting reduces them
@@ -11,8 +11,12 @@ Two experiments:
   Selection pushdown is the headline: on the theta-join queries Q11/Q12
   it removes the boolean-selection machinery (σ/∪/×/\\ over every tuple
   iteration) from the hot path.
+* **optimizer-mode ablation**: planning time and execution time of every
+  XMark query under the three planning strategies (``cost``, ``greedy``,
+  ``wcoj``), with a byte-equality check across modes; emits
+  ``BENCH_optimizer.json`` so the perf trajectory is tracked across PRs.
 
-Methodology for the ablation: plans are compiled once per configuration;
+Methodology for the ablations: plans are compiled once per configuration;
 every timed run evaluates against a freshly shredded document (node
 construction appends to the arena, so reusing one arena would slow later
 runs and bias whichever configuration runs last); numpy is warmed up
@@ -21,6 +25,7 @@ before measuring; the best of ``reps`` runs is reported.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -54,6 +59,10 @@ COST_AWARE = frozenset(
 
 DEFAULT_SCALE = 0.02
 DEFAULT_REPS = 3
+DEFAULT_JSON = "BENCH_optimizer.json"
+
+#: the selectable planning strategies, in reporting order
+MODES = ("cost", "greedy", "wcoj")
 
 
 def _plan(engines, name):
@@ -170,10 +179,134 @@ def run_ablation(scale: float = DEFAULT_SCALE, reps: int = DEFAULT_REPS) -> list
     return records
 
 
+def _serialized(plan, text: str) -> str:
+    """Serialize one evaluation of ``plan`` against a fresh document."""
+    from repro.compiler.serialize import serialize_result
+
+    engine = PathfinderEngine()
+    engine.load_document("auction.xml", text)
+    ctx = EvalContext(engine.arena, engine.documents)
+    table = evaluate(plan, ctx)
+    return serialize_result(table, engine.arena)
+
+
+def run_mode_ablation(
+    scale: float = DEFAULT_SCALE,
+    reps: int = DEFAULT_REPS,
+    json_path: str | None = DEFAULT_JSON,
+    queries: list[str] | None = None,
+) -> dict:
+    """Planning + execution time per optimizer mode across the XMark suite.
+
+    For every query the plan is optimized under each of :data:`MODES`
+    (best-of-``reps`` planning time; ``cost``/``wcoj`` are handed the
+    pre-built catalog statistics exactly as the production plan cache
+    does, ``greedy`` gets none), executed best-of-``reps`` against a
+    fresh document, and the serialized outputs of the three modes are
+    compared byte for byte.  Prints the table and writes ``json_path``
+    (one summary row, same shape as the other BENCH_*.json files).
+    """
+    text = generate_document(scale)
+    engine = PathfinderEngine()
+    engine.load_document("auction.xml", text)
+    estimator = CardinalityEstimator.from_database(engine.arena, engine.documents)
+    engine.execute("count(//item)")  # numpy warm-up
+    names = list(queries) if queries else sorted(XMARK_QUERIES)
+
+    print(f"\n=== optimizer-mode ablation (XMark scale {scale}) ===")
+    print(
+        f"{'query':>6} {'plan cost':>10} {'greedy':>8} {'wcoj':>8} "
+        f"{'exec cost':>10} {'greedy':>8} {'wcoj':>8} {'wcoj x':>7} {'same':>5}"
+    )
+    per_query = []
+    plan_totals = {m: 0.0 for m in MODES}
+    exec_totals = {m: 0.0 for m in MODES}
+    for name in names:
+        module = desugar_module(parse_query(XMARK_QUERIES[name]))
+        plan = Compiler(engine.documents, engine.default_document).compile_module(
+            module
+        )
+        row: dict = {"query": name}
+        outputs = {}
+        for mode in MODES:
+            est = None if mode == "greedy" else estimator
+            best_plan = float("inf")
+            optimized = None
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                optimized = optimize(plan, estimator=est, mode=mode)
+                best_plan = min(best_plan, time.perf_counter() - t0)
+            row[f"plan_{mode}_s"] = best_plan
+            plan_totals[mode] += best_plan
+            t_exec = _timed_eval(optimized, text, reps)
+            row[f"exec_{mode}_s"] = t_exec
+            exec_totals[mode] += t_exec
+            outputs[mode] = _serialized(optimized, text)
+        row["identical"] = len(set(outputs.values())) == 1
+        per_query.append(row)
+        wcoj_x = row["exec_cost_s"] / row["exec_wcoj_s"]
+        print(
+            f"{name:>6} {row['plan_cost_s'] * 1000:>8.2f}ms "
+            f"{row['plan_greedy_s'] * 1000:>6.2f}ms "
+            f"{row['plan_wcoj_s'] * 1000:>6.2f}ms "
+            f"{row['exec_cost_s'] * 1000:>8.2f}ms "
+            f"{row['exec_greedy_s'] * 1000:>6.2f}ms "
+            f"{row['exec_wcoj_s'] * 1000:>6.2f}ms "
+            f"{wcoj_x:>6.2f}x {'yes' if row['identical'] else 'NO':>5}"
+        )
+
+    greedy_plan_speedup = plan_totals["cost"] / plan_totals["greedy"]
+    greedy_exec_ratio = exec_totals["greedy"] / exec_totals["cost"]
+    wcoj_speedups = {
+        r["query"]: r["exec_cost_s"] / r["exec_wcoj_s"] for r in per_query
+    }
+    wcoj_wins = sorted(q for q, x in wcoj_speedups.items() if x >= 1.3)
+    all_identical = all(r["identical"] for r in per_query)
+    print(
+        f"totals: planning cost {plan_totals['cost'] * 1000:.1f}ms, "
+        f"greedy {plan_totals['greedy'] * 1000:.1f}ms "
+        f"({greedy_plan_speedup:.1f}x faster), "
+        f"wcoj {plan_totals['wcoj'] * 1000:.1f}ms"
+    )
+    print(
+        f"        execution cost {exec_totals['cost'] * 1000:.1f}ms, "
+        f"greedy {exec_totals['greedy'] * 1000:.1f}ms "
+        f"({greedy_exec_ratio:.3f}x of cost), "
+        f"wcoj {exec_totals['wcoj'] * 1000:.1f}ms"
+    )
+    print(
+        f"wcoj >=1.3x on: {', '.join(wcoj_wins) or 'none'}; "
+        f"results identical across modes: {all_identical}"
+    )
+
+    row = {
+        "bench": "optimizer_modes",
+        "scale": scale,
+        "reps": reps,
+        "queries": names,
+        "planning_total_s": plan_totals,
+        "execution_total_s": exec_totals,
+        "greedy_planning_speedup": greedy_plan_speedup,
+        "greedy_execution_ratio": greedy_exec_ratio,
+        "wcoj_execution_speedups": wcoj_speedups,
+        "wcoj_queries_at_least_1_3x": wcoj_wins,
+        "all_results_identical": all_identical,
+        "per_query": per_query,
+    }
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {json_path}")
+    return row
+
+
 def main(argv: list[str]) -> int:
     scale = float(argv[1]) if len(argv) > 1 else DEFAULT_SCALE
     reps = int(argv[2]) if len(argv) > 2 else DEFAULT_REPS
+    json_path = argv[3] if len(argv) > 3 else DEFAULT_JSON
     run_ablation(scale, reps)
+    run_mode_ablation(scale, reps, json_path)
     return 0
 
 

@@ -151,9 +151,12 @@ def report_optimizer(ablation_scale=0.008, ablation_reps=3):
         )
 
     # the cost-aware pass ablation on the join queries (pushdown etc.)
-    from benchmarks.bench_optimizer import run_ablation
+    from benchmarks.bench_optimizer import run_ablation, run_mode_ablation
 
     run_ablation(scale=ablation_scale, reps=ablation_reps)
+
+    # planning/execution per optimizer mode (cost vs greedy vs wcoj)
+    run_mode_ablation(scale=ablation_scale, reps=ablation_reps)
 
 
 def report_joins():

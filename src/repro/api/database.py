@@ -551,11 +551,14 @@ class Database:
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] | tuple = frozenset(),
         backend: str = "numpy",
+        optimizer_mode: str = "cost",
     ) -> "Session":
         """Open a new session (per-client execution context) over this
         database.  ``backend`` picks the evaluator ("numpy" or
         "sqlhost"; the SQL host falls back to numpy per query when a
-        plan is outside its dialect)."""
+        plan is outside its dialect); ``optimizer_mode`` picks the
+        planning strategy (see
+        :data:`repro.relational.optimizer.OPTIMIZER_MODES`)."""
         from repro.api.session import Session
 
         return Session(
@@ -565,6 +568,7 @@ class Database:
             use_join_recognition=use_join_recognition,
             disabled_passes=disabled_passes,
             backend=backend,
+            optimizer_mode=optimizer_mode,
         )
 
     # ------------------------------------------------------------- compiler
@@ -574,6 +578,7 @@ class Database:
         use_optimizer: bool,
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] = frozenset(),
+        optimizer_mode: str = "cost",
     ) -> tuple:
         """The plan-cache key: query text + compiler settings + the
         default document absolute paths were resolved against."""
@@ -581,6 +586,7 @@ class Database:
             query,
             use_optimizer,
             use_join_recognition,
+            optimizer_mode,
             tuple(sorted(disabled_passes)),
             self._default_document,
         )
@@ -591,13 +597,17 @@ class Database:
         use_optimizer: bool,
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] = frozenset(),
+        optimizer_mode: str = "cost",
     ) -> CachedPlan:
         """One full front-end run (parse → desugar → loop-lift →
         optimize), bypassing the plan cache.
 
         ``disabled_passes`` names optimizer rewrite passes to skip (see
-        :data:`repro.relational.optimizer.PASS_NAMES`); cardinality
-        estimates are seeded from this database's arena statistics.
+        :data:`repro.relational.optimizer.PASS_NAMES`);
+        ``optimizer_mode`` picks the planning strategy.  Cardinality
+        estimates are seeded from this database's arena statistics —
+        except in ``greedy`` mode, which plans without ever building
+        (or waiting on) the statistics.
         """
         with self._rwlock.read_locked():
             t0 = time.perf_counter()
@@ -619,7 +629,12 @@ class Database:
                     plan,
                     stats,
                     disabled=disabled_passes,
-                    estimator=self._get_estimator(),
+                    estimator=(
+                        None
+                        if optimizer_mode == "greedy"
+                        else self._get_estimator()
+                    ),
+                    mode=optimizer_mode,
                 )
             else:
                 stats.ops_before = stats.ops_after = alg.op_count(plan)
@@ -655,6 +670,7 @@ class Database:
         use_optimizer: bool,
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] = frozenset(),
+        optimizer_mode: str = "cost",
     ) -> tuple[CachedPlan, bool]:
         """Compile ``query`` through the plan cache.
 
@@ -667,7 +683,11 @@ class Database:
         """
         with self._rwlock.read_locked():
             key = self.cache_key(
-                query, use_optimizer, use_join_recognition, disabled_passes
+                query,
+                use_optimizer,
+                use_join_recognition,
+                disabled_passes,
+                optimizer_mode,
             )
             entry = self.plan_cache.get(key, self.doc_epochs)
             if entry is not None:
@@ -675,7 +695,11 @@ class Database:
 
             def _compile_and_cache() -> CachedPlan:
                 fresh = self.compile_query(
-                    query, use_optimizer, use_join_recognition, disabled_passes
+                    query,
+                    use_optimizer,
+                    use_join_recognition,
+                    disabled_passes,
+                    optimizer_mode,
                 )
                 self.plan_cache.put(key, fresh)
                 return fresh
@@ -702,6 +726,7 @@ def connect(
     backend: str = "numpy",
     store: "DocumentStore | str | None" = None,
     page_budget_bytes: int | None = None,
+    optimizer_mode: str = "cost",
 ) -> "Session":
     """Open a session — the front door of the API.
 
@@ -714,7 +739,8 @@ def connect(
     ``page_budget_bytes`` (requires ``store``) caps resident column
     bytes: fragments page in lazily from the store's mmaps and are
     evicted LRU past the budget.  ``disabled_passes`` names optimizer
-    rewrite passes this session should skip; ``backend`` picks the
+    rewrite passes this session should skip; ``optimizer_mode`` picks the
+    planning strategy ("cost", "greedy" or "wcoj"); ``backend`` picks the
     evaluator ("numpy" or "sqlhost").
     """
     if database is None:
@@ -730,4 +756,5 @@ def connect(
         use_join_recognition=use_join_recognition,
         disabled_passes=disabled_passes,
         backend=backend,
+        optimizer_mode=optimizer_mode,
     )

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.api.prepared import PreparedQuery
 from repro.errors import PathfinderError
+from repro.relational.optimizer import OPTIMIZER_MODES
 
 #: back-ends a session can evaluate plans on
 BACKENDS = ("numpy", "sqlhost")
@@ -65,15 +66,25 @@ class Session:
         use_join_recognition: bool = True,
         disabled_passes: frozenset[str] | tuple = frozenset(),
         backend: str = "numpy",
+        optimizer_mode: str = "cost",
     ):
         if backend not in BACKENDS:
             raise PathfinderError(
                 f"unknown backend {backend!r} (available: {', '.join(BACKENDS)})"
             )
+        if optimizer_mode not in OPTIMIZER_MODES:
+            raise PathfinderError(
+                f"unknown optimizer mode {optimizer_mode!r} "
+                f"(available: {', '.join(OPTIMIZER_MODES)})"
+            )
         self.database = database
         self.use_staircase = use_staircase
         self.use_optimizer = use_optimizer
         self.use_join_recognition = use_join_recognition
+        #: planning strategy this session compiles with ("cost",
+        #: "greedy" or "wcoj" — see
+        #: :data:`repro.relational.optimizer.OPTIMIZER_MODES`)
+        self.optimizer_mode = optimizer_mode
         #: optimizer rewrite passes this session skips (names from
         #: :data:`repro.relational.optimizer.PASS_NAMES`)
         self.disabled_passes = frozenset(disabled_passes)
@@ -109,6 +120,7 @@ class Session:
             self.use_optimizer,
             self.use_join_recognition,
             self.disabled_passes,
+            self.optimizer_mode,
         )
         if hit:
             self.stats.plan_cache_hits += 1
@@ -200,6 +212,7 @@ class Session:
                 plan=unoptimized,
                 optimized=entry.plan,
                 stats=entry.stats,
+                optimizer_mode=self.optimizer_mode,
             )
 
     # ------------------------------------------------------------ internals

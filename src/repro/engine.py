@@ -73,6 +73,8 @@ class ExplainReport:
     plan: alg.Op
     optimized: alg.Op
     stats: OptimizerStats
+    #: planning strategy the optimized plan was compiled under
+    optimizer_mode: str = "cost"
 
     @property
     def pass_table(self) -> str:
@@ -114,6 +116,7 @@ class PathfinderEngine:
         use_join_recognition: bool = True,
         database: Database | None = None,
         disabled_passes: frozenset[str] | tuple = frozenset(),
+        optimizer_mode: str = "cost",
     ):
         self._db = database if database is not None else Database()
         self._session = self._db.connect(
@@ -121,6 +124,7 @@ class PathfinderEngine:
             use_optimizer=use_optimizer,
             use_join_recognition=use_join_recognition,
             disabled_passes=disabled_passes,
+            optimizer_mode=optimizer_mode,
         )
 
     # ---------------------------------------------------------- delegation
@@ -184,6 +188,7 @@ class PathfinderEngine:
             self._session.use_optimizer,
             self._session.use_join_recognition,
             self._session.disabled_passes,
+            self._session.optimizer_mode,
         )
         return entry.plan, entry.stats
 

@@ -366,6 +366,40 @@ class StepJoin(Op):
 
 
 @dataclass(frozen=True, eq=False)
+class StructuralTwigJoin(Op):
+    """Multi-way structural join: a chain of axis steps matched as one twig.
+
+    ``steps`` is the ordered chain ``((axis, test), ...)`` that a run of
+    pairwise :class:`StepJoin` operators would have evaluated one at a
+    time; the ``wcoj`` optimizer mode collapses such runs into this single
+    operator.  The evaluator matches the whole chain in one pass over the
+    sorted pre/size ranges (worst-case-optimal in the spirit of leapfrog
+    triejoin: no intermediate result is ever materialised beyond the
+    frontier of context nodes).  Output has the same post-condition as the
+    final ``StepJoin`` it replaces: ``(iter_col, item_col)``, duplicate-
+    free and document-ordered per ``iter``.
+    """
+
+    child: Op
+    steps: tuple[tuple[Axis, NodeTest], ...]
+    iter_col: str = "iter"
+    item_col: str = "item"
+
+    @property
+    def children(self):
+        """The operator's input plans."""
+        return (self.child,)
+
+    def label(self) -> str:
+        """Rendered operator label (plan printing)."""
+        path = "/".join(f"{a.value}::{t}" for a, t in self.steps)
+        return f"⋈⤲ {path}"
+
+    def _params(self):
+        return (self.steps, self.iter_col, self.item_col)
+
+
+@dataclass(frozen=True, eq=False)
 class Atomize(Op):
     """fn:data — typed-value extraction: nodes become ``xs:untypedAtomic``
     string values, atomic items pass through."""

@@ -41,7 +41,7 @@ from repro.relational.kernels import (
     join_indices,
     row_number_per_group,
 )
-from repro.relational.staircase import naive_step, staircase_step
+from repro.relational.staircase import naive_step, staircase_step, twig_match
 from repro.relational.table import Column, Table
 
 
@@ -214,6 +214,11 @@ def _merged_table(left: Table, right: Table, li: np.ndarray, ri: np.ndarray) -> 
 
 def _eval_join(node: alg.Join, inputs, ctx) -> Table:
     left, right = inputs
+    if left.num_rows == 0 or right.num_rows == 0:
+        # empty-intermediate early termination: equi-join with an empty
+        # side is empty — skip key combination and the hash join
+        empty = np.empty(0, dtype=np.int64)
+        return _merged_table(left, right, empty, empty)
     lkeys = tuple(l for l, _ in node.keys)
     rkeys = tuple(r for _, r in node.keys)
     lk, rk = _combined_two_sided(left, right, lkeys, rkeys)
@@ -401,9 +406,28 @@ def _string_aggregate(node, col, stringish, starts, ctx) -> ItemColumn:
 def _eval_step(node: alg.StepJoin, inputs, ctx) -> Table:
     table = inputs[0]
     iters = table.num(node.iter_col)
-    item = table.col(node.item_col)
+    nodes = _ctx_nodes(table.col(node.item_col))
+    kind = K_ATTR if node.axis.value == "attribute" else K_NODE
+    if len(nodes) == 0:
+        # empty-intermediate early termination: no context nodes means
+        # no result — skip the axis kernel (this is greedy mode's
+        # runtime safety net for mis-ordered plans, and a free win for
+        # every mode)
+        return Table(
+            {node.iter_col: iters, node.item_col: ItemColumn.of_kind(kind, nodes)}
+        )
+    step = staircase_step if ctx.use_staircase else naive_step
+    ctx.step_counter[0] += 1
+    out_iter, rows = step(ctx.arena, iters, nodes, node.axis, node.test)
+    return Table(
+        {node.iter_col: out_iter, node.item_col: ItemColumn.of_kind(kind, rows)}
+    )
+
+
+def _ctx_nodes(item: Column) -> np.ndarray:
+    """Context-node rows of a step input column (type-checked)."""
     if isinstance(item, ItemColumn):
-        if len(item) and not np.all((item.kinds == K_NODE)):
+        if len(item) and not np.all(item.kinds == K_NODE):
             if np.any(item.kinds == K_ATTR):
                 raise DynamicError(
                     "axis steps from attribute nodes are not supported"
@@ -411,15 +435,30 @@ def _eval_step(node: alg.StepJoin, inputs, ctx) -> Table:
             raise DynamicError(
                 "path step applied to a non-node item", code="err:XPTY0019"
             )
-        nodes = item.data
-    else:
-        nodes = item
-    step = staircase_step if ctx.use_staircase else naive_step
+        return item.data
+    return item
+
+
+def _eval_twig(node: alg.StructuralTwigJoin, inputs, ctx) -> Table:
+    table = inputs[0]
+    iters = table.num(node.iter_col)
+    nodes = _ctx_nodes(table.col(node.item_col))
+    if len(nodes) == 0:
+        # empty-intermediate early termination, as in _eval_step
+        return Table(
+            {node.iter_col: iters, node.item_col: ItemColumn.of_kind(K_NODE, nodes)}
+        )
     ctx.step_counter[0] += 1
-    out_iter, rows = step(ctx.arena, iters, nodes, node.axis, node.test)
-    kind = K_ATTR if node.axis.value == "attribute" else K_NODE
+    if ctx.use_staircase:
+        out_iter, rows = twig_match(ctx.arena, iters, nodes, node.steps)
+    else:
+        # tree-unaware mode chains the naive baseline pairwise, so the
+        # staircase/naive differential keeps covering the twig operator
+        out_iter, rows = iters, nodes
+        for axis, test in node.steps:
+            out_iter, rows = naive_step(ctx.arena, out_iter, rows, axis, test)
     return Table(
-        {node.iter_col: out_iter, node.item_col: ItemColumn.of_kind(kind, rows)}
+        {node.iter_col: out_iter, node.item_col: ItemColumn.of_kind(K_NODE, rows)}
     )
 
 
@@ -591,6 +630,7 @@ _HANDLERS: dict[type, Callable] = {
     alg.Map: _eval_map,
     alg.Aggr: _eval_aggr,
     alg.StepJoin: _eval_step,
+    alg.StructuralTwigJoin: _eval_twig,
     alg.Atomize: _eval_atomize,
     alg.ElemConstr: _eval_elem,
     alg.TextConstr: _eval_text,

@@ -148,6 +148,27 @@ def join_indices(
     return left_idx, right_idx
 
 
+def coalesce_ranges(
+    starts: np.ndarray, stops: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge overlapping half-open ranges; ``starts`` must be ascending.
+
+    The twig join's candidate-generation kernel: the subtree regions of a
+    sorted context set are nested or disjoint, so coalescing them yields
+    disjoint ranges whose concatenation enumerates every candidate row
+    exactly once (no per-context duplicate materialisation).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    if len(starts) == 0:
+        return _EMPTY, _EMPTY
+    running = np.maximum.accumulate(stops)
+    keep = np.concatenate(([True], starts[1:] > running[:-1]))
+    idx = np.nonzero(keep)[0]
+    last = np.concatenate((idx[1:] - 1, [len(starts) - 1]))
+    return starts[keep], running[last]
+
+
 def in_set(keys: np.ndarray, probe: np.ndarray) -> np.ndarray:
     """Membership mask: ``keys[i] in probe`` (semi-join kernel)."""
     keys = np.asarray(keys, dtype=np.int64)

@@ -42,10 +42,20 @@ consumer whose result could depend on physical row order (δ/str_join
 without an order column, ϱ with ambiguous ties — see
 :func:`_order_sensitive`).  The plan-equivalence test corpus guards all
 of it end to end.
+
+:func:`optimize` additionally selects between three planning strategies
+(:data:`OPTIMIZER_MODES`): ``cost`` runs the default pipeline above to a
+fixpoint; ``greedy`` runs one round of the three highest-impact passes
+plus a statistics-free syntax-ranked join ordering (no fixpoint, no
+fingerprints, no cardinality estimation — a fraction of the planning
+cost); ``wcoj`` appends a ``twig_collapse`` pass fusing chains of
+staircase steps into one multi-way
+:class:`~repro.relational.algebra.StructuralTwigJoin`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -92,7 +102,7 @@ def _schema(op: alg.Op, memo) -> tuple[str, ...]:
         return base if op.target in base else base + (op.target,)
     if isinstance(op, alg.Aggr):
         return (op.group, op.target) if op.group else (op.target,)
-    if isinstance(op, alg.StepJoin):
+    if isinstance(op, (alg.StepJoin, alg.StructuralTwigJoin)):
         return (op.iter_col, op.item_col)
     if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr)):
         return ("iter", "item")
@@ -140,7 +150,7 @@ def _item_cols(op: alg.Op, memo) -> frozenset:
         if op.kind == "count":
             return frozenset()
         return frozenset({op.target})
-    if isinstance(op, alg.StepJoin):
+    if isinstance(op, (alg.StepJoin, alg.StructuralTwigJoin)):
         return frozenset({op.item_col})
     if isinstance(op, (alg.ElemConstr, alg.TextConstr, alg.AttrConstr)):
         return frozenset({"item"})
@@ -267,6 +277,16 @@ class CardinalityEstimator:
             else:
                 fanout = self.child_fanout
             return est(op.child) * fanout
+        if isinstance(op, alg.StructuralTwigJoin):
+            rows = est(op.child)
+            for axis, _ in op.steps:
+                if axis in _UNIT_AXES:
+                    rows *= 1.0
+                elif axis in _DEEP_AXES:
+                    rows *= self.descendant_fanout
+                else:
+                    rows *= self.child_fanout
+            return rows
         if isinstance(op, alg.GenRange):
             return est(op.child) * 8.0
         if isinstance(op, (alg.ElemConstr, alg.AttrConstr)):
@@ -320,7 +340,7 @@ def _unique(op: alg.Op, memo) -> frozenset:
         return frozenset({frozenset()})
     if isinstance(op, alg.ParamTable):
         return frozenset({frozenset({"pos"})})
-    if isinstance(op, alg.StepJoin):
+    if isinstance(op, (alg.StepJoin, alg.StructuralTwigJoin)):
         return frozenset({frozenset({op.iter_col, op.item_col})})
     if isinstance(op, alg.GenRange):
         # each iteration's range has distinct values and dense pos — but
@@ -395,6 +415,8 @@ class PassStats:
     ops_after: int = 0
     #: estimated root cardinality after the pass most recently ran
     est_rows: float | None = None
+    #: total wall-clock seconds spent inside the pass across all rounds
+    seconds: float = 0.0
 
 
 @dataclass
@@ -423,14 +445,14 @@ class OptimizerStats:
         """The per-pass statistics as an aligned text table."""
         header = (
             f"{'pass':<18}{'runs':>5}{'fired':>7}{'ops in':>8}"
-            f"{'ops out':>9}{'est rows':>10}"
+            f"{'ops out':>9}{'est rows':>10}{'ms':>8}"
         )
         lines = [header]
         for p in self.pass_stats:
             est = f"{p.est_rows:,.0f}" if p.est_rows is not None else "-"
             lines.append(
                 f"{p.name:<18}{p.runs:>5}{p.rewrites:>7}{p.ops_before:>8}"
-                f"{p.ops_after:>9}{est:>10}"
+                f"{p.ops_after:>9}{est:>10}{p.seconds * 1000.0:>8.2f}"
             )
         return "\n".join(lines)
 
@@ -452,6 +474,45 @@ class RewritePass:
 
 _MAX_ROUNDS = 10
 
+#: the selectable planning strategies (see :func:`optimize`)
+OPTIMIZER_MODES: tuple[str, ...] = ("cost", "greedy", "wcoj")
+
+
+#: the passes ``greedy`` keeps from the default pipeline (one round each):
+#: cse dedups the shared-subtree DAG, pushdown moves selections below the
+#: joins, prune drops dead columns — the three with the largest measured
+#: execution impact; everything else is planning cost greedy does without
+_GREEDY_PASS_NAMES: tuple[str, ...] = ("cse", "pushdown", "prune")
+
+
+def _pipeline_for_mode(
+    mode: str,
+) -> tuple[tuple[RewritePass, ...], tuple[RewritePass, ...]]:
+    """(fixpoint passes, post-fixpoint passes) for an optimizer mode.
+
+    ``twig_collapse`` is a *post* pass: it must only fire once the
+    pipeline has converged, because a collapsed twig hides its pairwise
+    steps from pushdown and join ordering — collapsing mid-fixpoint
+    measurably regressed plans whose steps still had selections to push.
+    """
+    if mode == "greedy":
+        loop = tuple(p for p in PASSES if p.name in _GREEDY_PASS_NAMES)
+        return loop + (_GREEDY_PASS,), ()
+    if mode == "wcoj":
+        return PASSES, (_TWIG_PASS,)
+    return PASSES, ()
+
+
+def pass_names_for_mode(mode: str) -> tuple[str, ...]:
+    """Every pass name :func:`optimize` accepts in ``disabled`` under
+    ``mode``: the default registry (:data:`PASS_NAMES`) plus the mode's
+    own passes (``greedy_order``, ``twig_collapse``) — what the CLI
+    validates ``--disable-pass`` against."""
+    names = list(PASS_NAMES)
+    loop, post = _pipeline_for_mode(mode)
+    names.extend(p.name for p in loop + post if p.name not in names)
+    return tuple(names)
+
 
 def optimize(
     root: alg.Op,
@@ -460,61 +521,105 @@ def optimize(
     disabled: frozenset[str] | set[str] | tuple = frozenset(),
     estimator: CardinalityEstimator | None = None,
     trace: list | None = None,
+    mode: str = "cost",
 ) -> alg.Op:
     """Run the rewrite-pass pipeline to a (bounded) fixpoint.
 
+    ``mode`` selects the planning strategy (:data:`OPTIMIZER_MODES`):
+
+    * ``cost`` — the default pipeline; ``join_order`` decides with the
+      cardinality estimator and per-pass statistics include estimates;
+    * ``greedy`` — no statistics anywhere: a single round of the three
+      highest-impact passes (:data:`_GREEDY_PASS_NAMES`) plus the
+      syntax-ranked ``greedy_order`` pass, with no fixpoint iteration,
+      no structural fingerprints and no cardinality estimates —
+      planning cost drops sharply, plan quality may too (execution-time
+      early termination on empty intermediates limits the downside);
+    * ``wcoj`` — the ``cost`` pipeline plus a final ``twig_collapse``
+      pass that fuses chains of pairwise staircase steps into one
+      multi-way :class:`~repro.relational.algebra.StructuralTwigJoin`.
+
     ``disabled`` names passes to skip (must be members of
-    :data:`PASS_NAMES`); ``estimator`` seeds cardinality estimation (a
-    default, statistics-free estimator is used when omitted); ``trace``,
-    when a list, receives one ``(pass_name, plan)`` snapshot after every
-    pass application that changed the plan — the hook behind
-    ``examples/plan_explorer.py``'s per-pass diffs.
+    :data:`PASS_NAMES` or of the selected mode's pipeline); ``estimator``
+    seeds cardinality estimation (a default, statistics-free estimator is
+    used when omitted); ``trace``, when a list, receives one
+    ``(pass_name, plan)`` snapshot after every pass application that
+    changed the plan — the hook behind ``examples/plan_explorer.py``'s
+    per-pass diffs.
     """
-    unknown = set(disabled) - set(PASS_NAMES)
+    if mode not in OPTIMIZER_MODES:
+        raise AlgebraError(
+            f"unknown optimizer mode {mode!r}; "
+            f"available: {', '.join(OPTIMIZER_MODES)}"
+        )
+    pipeline, post = _pipeline_for_mode(mode)
+    allowed = set(PASS_NAMES) | {p.name for p in pipeline + post}
+    unknown = set(disabled) - allowed
     if unknown:
         raise AlgebraError(
             f"unknown optimizer pass(es) {sorted(unknown)}; "
             f"available: {', '.join(PASS_NAMES)}"
         )
     collect = stats is not None
+    estimates = mode != "greedy"
     est = estimator if estimator is not None else CardinalityEstimator()
-    active = [p for p in PASSES if p.name not in set(disabled)]
-    per = {p.name: PassStats(p.name) for p in active}
+    active = [p for p in pipeline if p.name not in set(disabled)]
+    post_active = [p for p in post if p.name not in set(disabled)]
+    per = {p.name: PassStats(p.name) for p in (*active, *post_active)}
     # one object-keyed estimate memo for the whole run: shared subtrees
     # surviving a pass keep their cached estimates
     est_memo: dict = {}
     cur_ops = alg.op_count(root) if collect else 0
     if collect:
         stats.ops_before = cur_ops
+
+    def _apply(p: RewritePass) -> None:
+        nonlocal root, cur_ops
+        if collect:
+            ps = per[p.name]
+            if ps.runs == 0:
+                ps.ops_before = cur_ops
+        t0 = time.perf_counter()
+        new_root, fired = p.fn(root, est)
+        elapsed = time.perf_counter() - t0
+        if collect:
+            ps.runs += 1
+            ps.rewrites += fired
+            ps.seconds += elapsed
+            if fired:
+                cur_ops = alg.op_count(new_root)
+            ps.ops_after = cur_ops
+            if estimates:
+                ps.est_rows = est.estimate(new_root, est_memo)
+        if trace is not None and fired and new_root is not root:
+            trace.append((p.name, new_root))
+        root = new_root
+
     rounds = 0
-    fingerprint = _fingerprint(root)
+    fingerprint = _fingerprint(root) if estimates else None
     for i in range(_MAX_ROUNDS):
         rounds = i + 1
         for p in active:
-            if collect:
-                ps = per[p.name]
-                if ps.runs == 0:
-                    ps.ops_before = cur_ops
-            new_root, fired = p.fn(root, est)
-            if collect:
-                ps.runs += 1
-                ps.rewrites += fired
-                if fired:
-                    cur_ops = alg.op_count(new_root)
-                ps.ops_after = cur_ops
-                ps.est_rows = est.estimate(new_root, est_memo)
-            if trace is not None and fired and new_root is not root:
-                trace.append((p.name, new_root))
-            root = new_root
+            _apply(p)
+        if not estimates:
+            # greedy: one round, no fixpoint iteration — each pass gets
+            # one shot and execution-time early termination on empty
+            # intermediates covers what a second round would have won
+            break
         next_fingerprint = _fingerprint(root)
         if next_fingerprint == fingerprint:
             break
         fingerprint = next_fingerprint
+    for p in post_active:
+        # post passes fire exactly once, on the converged plan (wcoj's
+        # twig_collapse: fused twigs must not hide steps from the loop)
+        _apply(p)
     if collect:
         stats.passes = rounds
         stats.ops_after = alg.op_count(root)
         stats.pass_stats = list(per.values())
-        stats.estimated_rows = est.estimate(root, est_memo)
+        if estimates:
+            stats.estimated_rows = est.estimate(root, est_memo)
     return root
 
 
@@ -602,6 +707,10 @@ def _with_children(node: alg.Op, children: tuple[alg.Op, ...]) -> alg.Op:
         )
     if isinstance(node, alg.StepJoin):
         return alg.StepJoin(children[0], node.axis, node.test, node.iter_col, node.item_col)
+    if isinstance(node, alg.StructuralTwigJoin):
+        return alg.StructuralTwigJoin(
+            children[0], node.steps, node.iter_col, node.item_col
+        )
     if isinstance(node, alg.Atomize):
         return alg.Atomize(children[0], node.target, node.arg)
     if isinstance(node, alg.ElemConstr):
@@ -687,7 +796,7 @@ def _fold_one(node: alg.Op) -> alg.Op:
             return _lit_with_column(
                 child, node.target, [row[idx] for row in child.rows]
             )
-    if isinstance(node, alg.StepJoin):
+    if isinstance(node, (alg.StepJoin, alg.StructuralTwigJoin)):
         if _is_empty_lit(node.child):
             return alg.Lit(
                 (node.iter_col, node.item_col), (), frozenset({node.item_col})
@@ -1025,6 +1134,11 @@ def _sink(filt, x: alg.Op, counts, memo, shared: bool = False) -> alg.Op | None:
             return None
         child = _sink_or_attach(filt, x.child, counts, memo, shared)
         return alg.StepJoin(child, x.axis, x.test, x.iter_col, x.item_col)
+    if isinstance(x, alg.StructuralTwigJoin):
+        if not cols <= {x.iter_col}:
+            return None
+        child = _sink_or_attach(filt, x.child, counts, memo, shared)
+        return alg.StructuralTwigJoin(child, x.steps, x.iter_col, x.item_col)
     if isinstance(x, alg.GenRange):
         if not cols <= {"iter"}:
             return None
@@ -1224,7 +1338,7 @@ def _child_requirements(op, required, schema_memo):
         if not child_req:
             child_req = frozenset(schema_of(op.child, schema_memo)[:1])
         return [(op.child, child_req)]
-    if isinstance(op, alg.StepJoin):
+    if isinstance(op, (alg.StepJoin, alg.StructuralTwigJoin)):
         return [(op.child, frozenset({op.iter_col, op.item_col}))]
     if isinstance(op, alg.GenRange):
         return [(op.child, frozenset({"iter", op.lo_col, op.hi_col}))]
@@ -1356,6 +1470,11 @@ def _prune_rewrite(op, required, rebuilt, schema_memo, fired):
         child = rec(op.child, frozenset({op.iter_col, op.item_col}))
         child = _restrict(child, frozenset({op.iter_col, op.item_col}), schema_memo)
         return alg.StepJoin(child, op.axis, op.test, op.iter_col, op.item_col)
+
+    if isinstance(op, alg.StructuralTwigJoin):
+        child = rec(op.child, frozenset({op.iter_col, op.item_col}))
+        child = _restrict(child, frozenset({op.iter_col, op.item_col}), schema_memo)
+        return alg.StructuralTwigJoin(child, op.steps, op.iter_col, op.item_col)
 
     if isinstance(op, alg.GenRange):
         need = frozenset({"iter", op.lo_col, op.hi_col})
@@ -1491,6 +1610,192 @@ def _join_order(root: alg.Op, est: CardinalityEstimator) -> tuple[alg.Op, int]:
 
 
 # --------------------------------------------------------------------------
+# pass: greedy (statistics-free) join input ordering
+# --------------------------------------------------------------------------
+#: syntax-visible relative size factors: a named test keeps a step
+#: selective, a wildcard does not, and descendant-flavoured axes fan out
+#: far more than child steps — the ranking only needs relative magnitudes
+_GREEDY_CHILD_NAMED = 2.0
+_GREEDY_CHILD_WILD = 8.0
+_GREEDY_DEEP_NAMED = 8.0
+_GREEDY_DEEP_WILD = 32.0
+
+
+def _step_factor(axis: Axis, test) -> float:
+    """Syntax-only growth factor of one axis step (greedy mode)."""
+    if axis in _UNIT_AXES:
+        return 1.0
+    named = getattr(test, "name", None) is not None
+    if axis in _DEEP_AXES:
+        return _GREEDY_DEEP_NAMED if named else _GREEDY_DEEP_WILD
+    return _GREEDY_CHILD_NAMED if named else _GREEDY_CHILD_WILD
+
+
+def _syntax_score(op: alg.Op, memo: dict) -> float:
+    """Relative subtree size ranked purely by plan syntax.
+
+    The greedy mode's stand-in for cardinality estimation: no document
+    statistics are consulted.  Steps are ranked by axis kind and by
+    name-test vs wildcard, attached σ predicates shrink their input by
+    the textbook selectivities, and the combinators compose
+    multiplicatively — exactly enough signal to answer "which join input
+    is likely larger" without ever touching the arena.
+    """
+    cached = memo.get(op)
+    if cached is not None:
+        return cached
+    memo[op] = 1.0  # cycle-safe default; plans are DAGs anyway
+    score = _syntax_score_of(op, memo)
+    memo[op] = score
+    return score
+
+
+def _syntax_score_of(op: alg.Op, memo) -> float:
+    rec = lambda c: _syntax_score(c, memo)  # noqa: E731
+    if isinstance(op, alg.Lit):
+        return float(len(op.rows))
+    if isinstance(op, alg.DocRoot):
+        return 1.0
+    if isinstance(op, alg.ParamTable):
+        return 4.0
+    if isinstance(op, alg.StepJoin):
+        return rec(op.child) * _step_factor(op.axis, op.test)
+    if isinstance(op, alg.StructuralTwigJoin):
+        score = rec(op.child)
+        for axis, test in op.steps:
+            score *= _step_factor(axis, test)
+        return score
+    if isinstance(op, alg.Select):
+        consts = sum(1 for tag, _ in (op.lhs, op.rhs) if tag == "const")
+        if consts:
+            sel = _SEL_EQ_CONST if op.op == "eq" else _SEL_CMP_CONST
+        else:
+            sel = _SEL_COL_COL
+        return rec(op.child) * sel
+    if isinstance(op, alg.Union):
+        return sum(rec(i) for i in op.inputs)
+    if isinstance(op, (alg.Difference, alg.SemiJoin, alg.Distinct)):
+        return rec(op.children[0]) * 0.6
+    if isinstance(op, alg.Join):
+        return max(rec(op.left), rec(op.right))
+    if isinstance(op, alg.Cross):
+        return rec(op.left) * rec(op.right)
+    if isinstance(op, alg.Aggr):
+        if op.group is None:
+            return 1.0
+        return max(rec(op.child) * 0.2, 1.0)
+    if isinstance(op, alg.GenRange):
+        return rec(op.child) * 8.0
+    if not op.children:
+        return 1.0
+    return rec(op.children[0])
+
+
+def _greedy_order(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Statistics-free join input ordering (the ``greedy`` mode).
+
+    Same contract and safety discipline as :func:`_join_order` — swap
+    under a schema-restoring π, never beneath an order-sensitive
+    consumer — but ranks the two inputs with :func:`_syntax_score`
+    instead of the cardinality estimator, so planning needs no document
+    statistics at all.
+    """
+    score_memo: dict = {}
+    schema_memo: dict[int, tuple[str, ...]] = {}
+    sensitive = _order_sensitive(root)
+
+    def reorder(new: alg.Op) -> alg.Op | None:
+        if not isinstance(new, alg.Join):
+            return None
+        left_score = _syntax_score(new.left, score_memo)
+        right_score = _syntax_score(new.right, score_memo)
+        if right_score <= _SWAP_RATIO * max(left_score, 1.0):
+            return None
+        original = schema_of(new, schema_memo)
+        swapped = alg.Join(new.right, new.left, tuple((r, l) for l, r in new.keys))
+        return alg.Project(swapped, tuple((c, c) for c in original))
+
+    rebuilt: dict[int, alg.Op] = {}
+    fired = 0
+    for node in alg.walk(root):
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        new = _with_children(node, children)
+        if id(node) not in sensitive:
+            replacement = reorder(new)
+            if replacement is not None:
+                new = replacement
+                fired += 1
+        rebuilt[id(node)] = new
+    return rebuilt[id(root)], fired
+
+
+# --------------------------------------------------------------------------
+# pass: twig collapse (the wcoj mode's multi-way join recognition)
+# --------------------------------------------------------------------------
+#: axes the twig join's merged scan handles (forward, subtree-shaped)
+_TWIG_AXES = frozenset({Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF})
+
+#: minimum chain length worth collapsing — a two-step chain gains nothing
+#: over two staircase steps, the twig's advantage grows with chain depth
+_TWIG_MIN_STEPS = 3
+
+
+def _twig_collapse(root: alg.Op, est) -> tuple[alg.Op, int]:
+    """Fuse chains of pairwise staircase steps into one twig join.
+
+    A run of ``StepJoin`` operators where each feeds exactly the next
+    (sole consumer, matching iter/item columns, subtree-shaped axes)
+    evaluates as k separate staircase joins, each materialising its full
+    intermediate frontier.  Collapsing the run into one
+    :class:`~repro.relational.algebra.StructuralTwigJoin` lets the
+    evaluator match the whole chain with a single merged scan.  Fires
+    only at the *top* of a maximal chain, so bottom-up rewriting never
+    collapses a partial suffix.
+    """
+    counts = _parent_counts(root)
+    # ids of steps continued by (the sole input of) a chain-compatible
+    # step above them — they fold into the collapse fired at the top
+    continued: set[int] = set()
+    for node in alg.walk(root):
+        if isinstance(node, alg.StepJoin) and node.axis in _TWIG_AXES:
+            c = node.child
+            if (
+                isinstance(c, alg.StepJoin)
+                and c.axis in _TWIG_AXES
+                and c.iter_col == node.iter_col
+                and c.item_col == node.item_col
+                and counts.get(id(c), 1) == 1
+            ):
+                continued.add(id(c))
+    # chain membership is keyed by the ids of the *original* nodes, so
+    # this pass keeps its own loop instead of using _rewrite_bottom_up
+    rebuilt: dict[int, alg.Op] = {}
+    fired = 0
+    for node in alg.walk(root):
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        new = _with_children(node, children)
+        if (
+            isinstance(node, alg.StepJoin)
+            and node.axis in _TWIG_AXES
+            and id(node) not in continued
+            and id(node.child) in continued
+        ):
+            steps = [(node.axis, node.test)]
+            base = node.child
+            while id(base) in continued:
+                steps.append((base.axis, base.test))
+                base = base.child
+            if len(steps) >= _TWIG_MIN_STEPS:
+                steps.reverse()
+                new = alg.StructuralTwigJoin(
+                    rebuilt[id(base)], tuple(steps), node.iter_col, node.item_col
+                )
+                fired += 1
+        rebuilt[id(node)] = new
+    return rebuilt[id(root)], fired
+
+
+# --------------------------------------------------------------------------
 # the registry
 # --------------------------------------------------------------------------
 #: the default pipeline, in application order
@@ -1508,3 +1813,15 @@ PASSES: tuple[RewritePass, ...] = (
 
 #: names of all registered passes, in pipeline order
 PASS_NAMES: tuple[str, ...] = tuple(p.name for p in PASSES)
+
+#: ``greedy`` mode's drop-in replacement for ``join_order``
+_GREEDY_PASS = RewritePass(
+    "greedy_order", "sort the syntax-ranked-smaller join input (no statistics)",
+    _greedy_order,
+)
+
+#: ``wcoj`` mode's extra pass, appended after the default pipeline
+_TWIG_PASS = RewritePass(
+    "twig_collapse", "fuse chains of staircase steps into one twig join",
+    _twig_collapse,
+)

@@ -35,7 +35,9 @@ from repro.encoding.arena import (
 from repro.encoding.axes import Axis, NodeTest
 from repro.errors import DynamicError
 from repro.relational.kernels import (
+    coalesce_ranges,
     group_starts,
+    join_indices,
     multi_arange,
     segmented_cummax,
 )
@@ -124,7 +126,20 @@ def staircase_step(
     # fragments in covers every row (and attribute) this step can read
     arena.ensure_rows(nodes)
     iters, nodes = _sorted_distinct_contexts(iters, nodes)
+    return _step_sorted(arena, iters, nodes, axis, test)
 
+
+def _step_sorted(
+    arena: NodeArena,
+    iters: np.ndarray,
+    nodes: np.ndarray,
+    axis: Axis,
+    test: NodeTest,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The per-axis staircase body; contexts must already be sorted by
+    (iter, document order) and duplicate-free — which is also the output
+    post-condition, so steps chain without re-sorting (the twig join's
+    fused loop relies on exactly that)."""
     if axis is Axis.ATTRIBUTE:
         order, lo, hi = arena.attr_ranges(nodes)
         out_iter = np.repeat(iters, hi - lo)
@@ -241,6 +256,116 @@ def staircase_step(
         return _dedupe_sorted_pairs(out_iter[mask], rows[mask])
 
     raise DynamicError(f"unsupported axis {axis}")
+
+
+#: axes a StructuralTwigJoin chain may contain (node-kind, downward)
+TWIG_AXES = (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF)
+
+
+def twig_match(
+    arena: NodeArena,
+    iters: np.ndarray,
+    nodes: np.ndarray,
+    steps: tuple,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match a whole chain of axis steps in one pass (the ``wcoj`` twig).
+
+    ``steps`` is ``((axis, test), ...)`` with axes from :data:`TWIG_AXES`.
+    Semantically identical to folding :func:`staircase_step` over the
+    chain — same sorted, duplicate-free-per-iter output — but evaluated
+    as one multi-way join:
+
+    * an **all-child chain** runs bottom-up: the distinct context
+      subtrees are coalesced into disjoint pre ranges
+      (:func:`~repro.relational.kernels.coalesce_ranges`), candidates for
+      the *last* step's test are materialised once from those ranges, and
+      each survivor walks its parent chain upward checking the earlier
+      tests — the chain's k-th ancestor is then joined back against the
+      ``(iter, context)`` pairs.  No intermediate frontier is ever
+      materialised, which is the worst-case-optimal property;
+    * a **mixed chain** runs the staircase per-axis bodies fused: each
+      step's output already satisfies the sorted-distinct post-condition,
+      so the per-step context re-sort of the pairwise pipeline is
+      skipped, and an empty frontier terminates the whole match early.
+    """
+    iters = np.asarray(iters, dtype=np.int64)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if len(iters) == 0 or not steps:
+        return _EMPTY, _EMPTY
+    arena.ensure_rows(nodes)
+    iters, nodes = _sorted_distinct_contexts(iters, nodes)
+    if all(axis is Axis.CHILD for axis, _ in steps):
+        return _twig_child_chain(arena, iters, nodes, [t for _, t in steps])
+    cur_i, cur_n = iters, nodes
+    for axis, test in steps:
+        if len(cur_i) == 0:
+            return _EMPTY, _EMPTY  # empty-intermediate early termination
+        cur_i, cur_n = _step_sorted(arena, cur_i, cur_n, axis, test)
+    return cur_i, cur_n
+
+
+def _twig_candidates(
+    arena: NodeArena, starts: np.ndarray, stops: np.ndarray, test: NodeTest
+) -> np.ndarray:
+    """Rows inside the disjoint sorted ranges that satisfy ``test``.
+
+    Scans the kind/name columns as one contiguous slice over the
+    covering span — no row-index materialisation, no gathers — then
+    drops matches that fall in gaps between ranges.  Gap rows may be
+    paged-out garbage, which is fine: they never survive the range
+    filter, and a single range has no gaps at all.
+    """
+    if test.kind == "attribute":
+        return _EMPTY
+    if test.kind == "node":
+        return multi_arange(starts, stops)
+    lo, hi = int(starts[0]), int(stops[-1])
+    mask = arena.kind[lo:hi] == _KIND_OF_TEST[test.kind]
+    if test.name is not None:
+        mask &= arena.name[lo:hi] == arena.pool.lookup(test.name)
+    cand = np.flatnonzero(mask)
+    cand += lo
+    if len(starts) > 1:
+        pos = np.searchsorted(starts, cand, side="right") - 1
+        cand = cand[cand < stops[pos]]
+    return cand
+
+
+def _twig_child_chain(
+    arena: NodeArena,
+    iters: np.ndarray,
+    nodes: np.ndarray,
+    tests: list[NodeTest],
+) -> tuple[np.ndarray, np.ndarray]:
+    """All-child twig: candidate scan + parent-chain walk + context join.
+
+    A node matches a k-step child chain iff its k-th ancestor is a
+    context node and the i-th node on the walk up satisfies the i-th
+    test from the end.  Each candidate has exactly one k-th ancestor, so
+    the joined output has no duplicates by construction.
+    """
+    k = len(tests)
+    cnodes = np.unique(nodes)
+    starts, stops = coalesce_ranges(cnodes + 1, cnodes + arena.size[cnodes] + 1)
+    cand = _twig_candidates(arena, starts, stops, tests[-1])
+    cur = cand
+    for j in range(k - 2, -1, -1):
+        if len(cur) == 0:
+            return _EMPTY, _EMPTY
+        cur = arena.parent[cur]
+        ok = cur >= 0
+        if not ok.all():
+            cand, cur = cand[ok], cur[ok]
+        m = node_test_mask(arena, cur, tests[j])
+        if not m.all():
+            cand, cur = cand[m], cur[m]
+    if len(cur) == 0:
+        return _EMPTY, _EMPTY
+    anchors = arena.parent[cur]  # each survivor's k-th ancestor
+    li, ri = join_indices(nodes, anchors)
+    out_iter, rows = iters[li], cand[ri]
+    order = np.lexsort((rows, out_iter))
+    return out_iter[order], rows[order]
 
 
 def naive_step(

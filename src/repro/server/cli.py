@@ -34,6 +34,7 @@ import sys
 from repro.api.database import Database
 from repro.api.session import BACKENDS
 from repro.errors import PathfinderError
+from repro.relational.optimizer import OPTIMIZER_MODES
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -107,6 +108,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve unoptimized plans (debugging aid)",
     )
+    parser.add_argument(
+        "--optimizer-mode",
+        choices=OPTIMIZER_MODES,
+        default="cost",
+        help="planning strategy for worker sessions (cost, greedy or wcoj)",
+    )
     return parser
 
 
@@ -125,6 +132,7 @@ def _serve_cluster(args, out) -> int:
         session_options={
             "backend": args.backend,
             "use_optimizer": not args.no_optimizer,
+            "optimizer_mode": args.optimizer_mode,
         },
     )
     try:
@@ -209,6 +217,7 @@ def serve_main(argv: list[str] | None = None, out=None) -> int:
             session_options={
                 "backend": args.backend,
                 "use_optimizer": not args.no_optimizer,
+                "optimizer_mode": args.optimizer_mode,
             },
         )
     except PathfinderError as exc:

@@ -176,11 +176,13 @@ class QueryService:
         with self._stats_lock:
             for ps in optimizer_stats.pass_stats:
                 slot = self._pass_totals.setdefault(
-                    ps.name, {"runs": 0, "rewrites": 0, "compilations": 0}
+                    ps.name,
+                    {"runs": 0, "rewrites": 0, "compilations": 0, "seconds": 0.0},
                 )
                 slot["runs"] += ps.runs
                 slot["rewrites"] += ps.rewrites
                 slot["compilations"] += 1
+                slot["seconds"] += ps.seconds
 
     # ------------------------------------------------------------- queries
     def execute(
@@ -327,6 +329,7 @@ class QueryService:
                 "ops_before": stats.ops_before,
                 "ops_after": stats.ops_after,
                 "reduction_pct": stats.reduction_pct,
+                "optimizer_mode": report.optimizer_mode,
                 "passes": [
                     {
                         "name": ps.name,
@@ -334,6 +337,7 @@ class QueryService:
                         "rewrites": ps.rewrites,
                         "ops_before": ps.ops_before,
                         "ops_after": ps.ops_after,
+                        "seconds": ps.seconds,
                     }
                     for ps in stats.pass_stats
                 ],
@@ -404,9 +408,15 @@ class QueryService:
         executed = sum(s.stats.queries_executed for s in sessions)
         updates = sum(s.stats.updates_executed for s in sessions)
         fallbacks = sum(s.stats.sqlhost_fallbacks for s in sessions)
+        by_mode: dict[str, int] = {}
+        for s in sessions:
+            by_mode[s.optimizer_mode] = (
+                by_mode.get(s.optimizer_mode, 0) + s.stats.queries_executed
+            )
         payload.update(
             {
                 "queries_executed": executed,
+                "queries_by_mode": dict(sorted(by_mode.items())),
                 "updates_executed": updates,
                 "sqlhost_fallbacks": fallbacks,
                 "plan_cache": {

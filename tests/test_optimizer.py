@@ -495,3 +495,71 @@ class TestStats:
         stats = OptimizerStats()
         optimize(plan, stats)
         assert stats.ops_after < stats.ops_before
+
+
+class TestOptimizerModes:
+    """The mode dispatch: greedy's trimmed single round, wcoj's twig
+    collapse, and the shared validation surface."""
+
+    def _chain(self, depth=3):
+        base = alg.Lit(("iter", "item"), ((1, 0),))
+        plan = base
+        for _ in range(depth):
+            plan = alg.StepJoin(plan, Axis.CHILD, ANY_ELEMENT, "iter", "item")
+        return plan
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AlgebraError):
+            optimize(LIT, mode="magic")
+
+    def test_pass_names_for_mode(self):
+        from repro.relational.optimizer import pass_names_for_mode
+
+        assert pass_names_for_mode("cost") == PASS_NAMES
+        assert "greedy_order" in pass_names_for_mode("greedy")
+        assert "twig_collapse" in pass_names_for_mode("wcoj")
+
+    def test_greedy_runs_one_round_without_estimates(self):
+        class _Boom(CardinalityEstimator):
+            def estimate(self, *args, **kwargs):
+                raise AssertionError("greedy must never estimate")
+
+        plan = alg.Select(LIT, "eq", col("pos"), const(1))
+        stats = OptimizerStats()
+        optimize(plan, stats, estimator=_Boom(), mode="greedy")
+        assert stats.passes == 1
+        names = {p.name for p in stats.pass_stats}
+        assert names <= {"cse", "pushdown", "prune", "greedy_order"}
+        assert all(p.est_rows is None for p in stats.pass_stats)
+
+    def test_wcoj_collapses_step_chains(self):
+        out = optimize(self._chain(3), mode="wcoj")
+        twigs = [
+            op for op in alg.walk(out)
+            if isinstance(op, alg.StructuralTwigJoin)
+        ]
+        assert len(twigs) == 1 and len(twigs[0].steps) == 3
+
+    def test_short_chains_stay_pairwise(self):
+        out = optimize(self._chain(2), mode="wcoj")
+        assert not any(
+            isinstance(op, alg.StructuralTwigJoin) for op in alg.walk(out)
+        )
+
+    def test_cost_mode_never_builds_twigs(self):
+        out = optimize(self._chain(5), mode="cost")
+        assert not any(
+            isinstance(op, alg.StructuralTwigJoin) for op in alg.walk(out)
+        )
+
+    def test_twig_collapse_can_be_disabled(self):
+        out = optimize(self._chain(3), mode="wcoj", disabled={"twig_collapse"})
+        assert not any(
+            isinstance(op, alg.StructuralTwigJoin) for op in alg.walk(out)
+        )
+
+    def test_pass_timings_recorded(self):
+        stats = OptimizerStats()
+        optimize(alg.Select(LIT, "eq", col("pos"), const(1)), stats)
+        assert all(p.seconds >= 0.0 for p in stats.pass_stats)
+        assert any(p.runs > 0 for p in stats.pass_stats)

@@ -13,7 +13,7 @@ from repro.relational import algebra as alg
 from repro.relational.algebra import col, const
 from repro.relational.evaluate import EvalContext, evaluate
 from repro.relational.items import ItemColumn
-from repro.relational.optimizer import optimize, schema_of
+from repro.relational.optimizer import OPTIMIZER_MODES, optimize, schema_of
 
 _value = st.one_of(
     st.integers(-5, 5),
@@ -114,6 +114,21 @@ def test_optimize_preserves_semantics(plan):
     # the root keeps its full schema, so names must survive
     assert after_names == before_names
     assert after_rows == before_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(_plan())
+def test_optimizer_modes_agree(plan):
+    """Mode differential: cost, greedy and wcoj may pick different plans
+    for the same input but must compute the same relation."""
+    try:
+        before_names, before_rows = _normalised(plan)
+    except Exception:
+        return
+    for mode in OPTIMIZER_MODES:
+        after_names, after_rows = _normalised(optimize(plan, mode=mode))
+        assert after_names == before_names, f"schema differs under {mode}"
+        assert after_rows == before_rows, f"rows differ under {mode}"
 
 
 @settings(max_examples=60, deadline=None)

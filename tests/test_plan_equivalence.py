@@ -6,6 +6,10 @@ fully off — and asserts identical serialized results.  This is the guard
 rail for every new rewrite: a pass that changes any query's output at
 any configuration fails here, including order-sensitive differences
 (serialization fixes the sequence order).
+
+The same corpus also runs under every planning strategy
+(``optimizer_mode``: cost, greedy, wcoj) — the three modes may pick
+different plans but must never pick different answers.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api.database import Database
-from repro.relational.optimizer import PASS_NAMES
+from repro.relational.optimizer import OPTIMIZER_MODES, PASS_NAMES
 from repro.xmark import XMARK_QUERIES, generate_document
 
 #: regression queries exercising plan shapes the XMark set misses
@@ -46,6 +50,12 @@ CONFIGS = [("all", frozenset())] + [
     (f"no-{name}", frozenset({name})) for name in PASS_NAMES
 ]
 
+#: every planning strategy, plus each mode-specific pass knocked out
+MODE_CONFIGS = [(mode, frozenset()) for mode in OPTIMIZER_MODES] + [
+    ("wcoj", frozenset({"twig_collapse"})),
+    ("greedy", frozenset({"greedy_order"})),
+]
+
 
 @pytest.fixture(scope="module")
 def xmark_db():
@@ -61,8 +71,16 @@ def small_db():
     return db
 
 
-def _run(db: Database, query: str, disabled: frozenset, optimizer: bool = True) -> str:
-    session = db.connect(use_optimizer=optimizer, disabled_passes=disabled)
+def _run(
+    db: Database,
+    query: str,
+    disabled: frozenset,
+    optimizer: bool = True,
+    mode: str = "cost",
+) -> str:
+    session = db.connect(
+        use_optimizer=optimizer, disabled_passes=disabled, optimizer_mode=mode
+    )
     return session.execute(query).serialize()
 
 
@@ -83,4 +101,26 @@ def test_regression_equivalence(small_db, query):
     for label, disabled in CONFIGS:
         assert _run(small_db, text, disabled) == reference, (
             f"{query} differs with optimizer config {label}"
+        )
+
+
+@pytest.mark.parametrize("query", sorted(XMARK_QUERIES))
+def test_xmark_mode_equivalence(xmark_db, query):
+    text = XMARK_QUERIES[query]
+    reference = _run(xmark_db, text, frozenset(), optimizer=False)
+    for mode, disabled in MODE_CONFIGS:
+        assert _run(xmark_db, text, disabled, mode=mode) == reference, (
+            f"{query} differs under optimizer mode {mode} "
+            f"(disabled: {sorted(disabled) or 'none'})"
+        )
+
+
+@pytest.mark.parametrize("query", sorted(REGRESSION_QUERIES))
+def test_regression_mode_equivalence(small_db, query):
+    text = REGRESSION_QUERIES[query]
+    reference = _run(small_db, text, frozenset(), optimizer=False)
+    for mode, disabled in MODE_CONFIGS:
+        assert _run(small_db, text, disabled, mode=mode) == reference, (
+            f"{query} differs under optimizer mode {mode} "
+            f"(disabled: {sorted(disabled) or 'none'})"
         )

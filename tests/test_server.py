@@ -166,6 +166,14 @@ class TestOperationalEndpoints:
         assert body["ops_after"] <= body["ops_before"]
         assert {p["name"] for p in body["passes"]} >= {"cse", "prune"}
 
+    def test_explain_reports_optimizer_mode_and_pass_timings(self, server):
+        base, _ = server
+        status, body = request(base, "/explain?q=count(/r/v)")
+        assert status == 200
+        assert body["optimizer_mode"] == "cost"
+        for entry in body["passes"]:
+            assert entry["seconds"] >= 0.0
+
     def test_explain_without_query_is_400(self, server):
         base, _ = server
         status, _ = request(base, "/explain")
@@ -181,6 +189,7 @@ class TestOperationalEndpoints:
         assert body["in_flight"] == 0
         assert 0.0 <= body["plan_cache"]["hit_rate"] <= 1.0
         assert "cse" in body["optimizer_pass_totals"]
+        assert body["queries_by_mode"].get("cost", 0) >= 1
 
     def test_unknown_route_is_404(self, server):
         base, _ = server
@@ -274,6 +283,25 @@ def test_stats_counts_every_failed_request():
         with pytest.raises(PathfinderError):
             service.execute("for $x in")  # syntax error
         assert service.stats()["errors"] == 1
+    finally:
+        service.shutdown(wait=True)
+
+
+def test_service_honors_optimizer_mode_session_option():
+    """A service serving under ``optimizer_mode: greedy`` reports it in
+    /explain payloads and counts its queries under that mode in /stats."""
+    database = Database()
+    database.load_document("r.xml", DOC)
+    service = QueryService(
+        database, workers=1, session_options={"optimizer_mode": "greedy"}
+    )
+    try:
+        report = service.explain("count(/r/v)")
+        assert report["optimizer_mode"] == "greedy"
+        service.execute("count(/r/v)")
+        by_mode = service.stats()["queries_by_mode"]
+        assert by_mode.get("greedy", 0) >= 1
+        assert "cost" not in by_mode
     finally:
         service.shutdown(wait=True)
 
